@@ -1,0 +1,38 @@
+# Development targets for the meccdn repository.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments examples cover clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . | (! grep .) || (echo "gofmt needed" && exit 1)
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure from the paper.
+experiments:
+	$(GO) run ./cmd/experiments -all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/arvr
+	$(GO) run ./examples/handoff
+	$(GO) run ./examples/multitier
+	$(GO) run ./examples/splitdns
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

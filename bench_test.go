@@ -1,0 +1,479 @@
+package meccdn
+
+// The benchmark harness: one benchmark per paper table and figure
+// (regenerating the artifact end to end and reporting the headline
+// metric), plus ablation benchmarks for the design choices called out
+// in DESIGN.md §5. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table benchmarks measure the cost of regenerating the whole
+// experiment in virtual time; custom metrics (…_ms, speedup_x, …)
+// carry the scientific result so a bench run doubles as a results
+// table.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/cdn"
+	"github.com/meccdn/meccdn/internal/dnsclient"
+	"github.com/meccdn/meccdn/internal/dnsserver"
+	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/experiments"
+	"github.com/meccdn/meccdn/internal/geoip"
+	"github.com/meccdn/meccdn/internal/lte"
+	"github.com/meccdn/meccdn/internal/simnet"
+	"github.com/meccdn/meccdn/internal/stats"
+	"github.com/meccdn/meccdn/internal/vclock"
+)
+
+// --- Table 1 -------------------------------------------------------
+
+func BenchmarkTable1Catalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table1(); len(rows) != 5 {
+			b.Fatal("table 1 wrong")
+		}
+	}
+}
+
+// --- Figure 2 ------------------------------------------------------
+
+func BenchmarkFigure2(b *testing.B) {
+	var last *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure2(experiments.Fig2Config{Seed: int64(i), Runs: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	// Report the headline contrast: cellular vs wired mean over all
+	// domains.
+	var wired, cell time.Duration
+	for _, row := range last.Cells {
+		wired += row[0].Bar.Mean
+		cell += row[2].Bar.Mean
+	}
+	b.ReportMetric(stats.Ms(wired)/5, "wired_ms")
+	b.ReportMetric(stats.Ms(cell)/5, "cellular_ms")
+}
+
+// --- Figure 3 ------------------------------------------------------
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(experiments.Fig3Config{Seed: int64(i), Queries: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 5 ------------------------------------------------------
+
+func benchFigure5(b *testing.B, air lte.AirProfile) {
+	var last *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(experiments.Fig5Config{Seed: int64(i), Runs: 12, Air: air})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, row := range last.Rows {
+		if row.Key == experiments.ScenarioMECMEC {
+			b.ReportMetric(stats.Ms(row.Bar.Mean), "mec_ms")
+		}
+		if row.Key == experiments.ScenarioCloudflare {
+			b.ReportMetric(stats.Ms(row.Bar.Mean), "cloudflare_ms")
+		}
+	}
+	b.ReportMetric(last.Speedup(), "speedup_x")
+}
+
+func BenchmarkFigure5LTE(b *testing.B) { benchFigure5(b, lte.LTE4G()) }
+func BenchmarkFigure55G(b *testing.B)  { benchFigure5(b, lte.NR5G()) }
+
+// --- §4 ECS --------------------------------------------------------
+
+func BenchmarkECS(b *testing.B) {
+	var last *experiments.ECSResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ECS(experiments.Fig5Config{Seed: int64(i), Runs: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Rows[0].Ratio, "mec_ecs_ratio")
+}
+
+// --- Extensions ----------------------------------------------------
+
+func BenchmarkFallbackPolicy(b *testing.B) {
+	var last *experiments.FallbackResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fallback(int64(i), 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.MECAdvantage, "mec_advantage_x")
+}
+
+func BenchmarkDisaggregation(b *testing.B) {
+	var last *experiments.DisaggregationResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Disaggregation(int64(i), 300, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(100*last.Consolidated, "contentaware_hit_pct")
+	b.ReportMetric(100*last.Spread, "roundrobin_hit_pct")
+}
+
+func BenchmarkIPReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.IPReuse(int64(i), 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadShed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LoadShed(int64(i), 20, []int{10, 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBudgetSweep(b *testing.B) {
+	var last *experiments.SweepResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.BudgetSweep(experiments.SweepConfig{Seed: int64(i), Runs: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(stats.Ms(last.Crossover), "crossover_oneway_ms")
+}
+
+// --- Ablation: DNS name compression --------------------------------
+
+func benchmarkPackMessage(b *testing.B, answers int) {
+	m := new(dnswire.Message)
+	m.SetQuestion("video.demo1.mycdn.ciab.test.", dnswire.TypeA)
+	m.Response = true
+	for i := 0; i < answers; i++ {
+		m.Answers = append(m.Answers, &dnswire.CNAME{
+			Hdr:    dnswire.RRHeader{Name: "video.demo1.mycdn.ciab.test.", Type: dnswire.TypeCNAME, Class: dnswire.ClassINET, TTL: 30},
+			Target: fmt.Sprintf("edge%d.site.mycdn.ciab.test.", i),
+		})
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(wire)), "wire_bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Pack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNameCompressionSmall(b *testing.B) { benchmarkPackMessage(b, 2) }
+func BenchmarkNameCompressionLarge(b *testing.B) { benchmarkPackMessage(b, 25) }
+
+func BenchmarkUnpackMessage(b *testing.B) {
+	m := new(dnswire.Message)
+	m.SetQuestion("video.demo1.mycdn.ciab.test.", dnswire.TypeA)
+	m.Response = true
+	for i := 0; i < 10; i++ {
+		m.Answers = append(m.Answers, &dnswire.A{
+			Hdr:  dnswire.RRHeader{Name: "video.demo1.mycdn.ciab.test.", Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 30},
+			Addr: netip.AddrFrom4([4]byte{10, 96, 0, byte(i)}),
+		})
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out dnswire.Message
+		if err := out.Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: L-DNS response cache --------------------------------
+
+func benchmarkResolution(b *testing.B, withCache bool) {
+	net := simnet.New(1)
+	net.AddNode("client")
+	net.AddNode("ldns")
+	net.AddNode("auth")
+	net.AddLink("client", "ldns", simnet.Constant(time.Millisecond), 0)
+	net.AddLink("ldns", "auth", simnet.Constant(20*time.Millisecond), 0)
+	zone := dnsserver.NewZone("bench.test.")
+	if err := zone.AddA("www.bench.test.", 3600, netip.MustParseAddr("192.0.2.1")); err != nil {
+		b.Fatal(err)
+	}
+	dnsserver.Attach(net.Node("auth"), dnsserver.Chain(dnsserver.NewZonePlugin(zone)), nil)
+	up := &dnsclient.Client{Transport: &dnsclient.SimTransport{Endpoint: net.Node("ldns").Endpoint()}}
+	up.SetRand(rand.New(rand.NewSource(2)))
+	fwd := &dnsserver.Forward{Upstreams: []netip.AddrPort{netip.AddrPortFrom(net.Node("auth").Addr, 53)}, Client: up}
+	var chain dnsserver.Handler
+	if withCache {
+		chain = dnsserver.Chain(dnsserver.NewCache(net.Clock), fwd)
+	} else {
+		chain = dnsserver.Chain(fwd)
+	}
+	dnsserver.Attach(net.Node("ldns"), chain, nil)
+	client := &dnsclient.Client{Transport: &dnsclient.SimTransport{Endpoint: net.Node("client").Endpoint()}}
+	client.SetRand(rand.New(rand.NewSource(3)))
+	ldns := netip.AddrPortFrom(net.Node("ldns").Addr, 53)
+
+	var virtual time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := net.Now()
+		if _, err := client.Query(context.Background(), ldns, "www.bench.test.", dnswire.TypeA); err != nil {
+			b.Fatal(err)
+		}
+		virtual += net.Now() - start
+	}
+	b.ReportMetric(stats.Ms(virtual)/float64(b.N), "virtual_ms/query")
+}
+
+func BenchmarkResolverCacheOff(b *testing.B) { benchmarkResolution(b, false) }
+func BenchmarkResolverCacheOn(b *testing.B)  { benchmarkResolution(b, true) }
+
+// --- Ablation: C-DNS selection policy ------------------------------
+
+func benchmarkRouterPolicy(b *testing.B, policy cdn.SelectionPolicy) {
+	net := simnet.New(4)
+	net.AddNode("hub")
+	router := cdn.NewRouter("bench.test.")
+	router.Policy = policy
+	router.Replicas = 4
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("cache-%d", i)
+		net.AddNode(name)
+		net.AddLink("hub", name, simnet.Constant(time.Millisecond), 0)
+		s := cdn.NewCacheServer(net.Node(name), cdn.CacheServerConfig{Name: name, CapacityBytes: 1 << 20})
+		router.AddServer(s, geoip.Location{X: float64(i)})
+	}
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("obj-%d.bench.test.", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if router.Route(keys[i%len(keys)], cdn.ClientInfo{}) == nil {
+			b.Fatal("no route")
+		}
+	}
+}
+
+func BenchmarkRouterPolicyAvailability(b *testing.B) {
+	benchmarkRouterPolicy(b, cdn.AvailabilityFirst{})
+}
+func BenchmarkRouterPolicyGeo(b *testing.B)         { benchmarkRouterPolicy(b, cdn.GeoNearest{}) }
+func BenchmarkRouterPolicyRoundRobin(b *testing.B)  { benchmarkRouterPolicy(b, &cdn.RoundRobin{}) }
+func BenchmarkRouterPolicyLeastLoaded(b *testing.B) { benchmarkRouterPolicy(b, cdn.LeastLoaded{}) }
+
+// --- Ablation: placement scheme ------------------------------------
+
+func BenchmarkPlacementHashRing(b *testing.B) {
+	ring := cdn.NewHashRing()
+	for i := 0; i < 16; i++ {
+		ring.Add(fmt.Sprintf("server-%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ring.Owner(fmt.Sprintf("key-%d", i%1024)) == "" {
+			b.Fatal("no owner")
+		}
+	}
+}
+
+func BenchmarkPlacementModulo(b *testing.B) {
+	var m cdn.ModuloPlacement
+	for i := 0; i < 16; i++ {
+		m.Add(fmt.Sprintf("server-%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Owner(fmt.Sprintf("key-%d", i%1024)) == "" {
+			b.Fatal("no owner")
+		}
+	}
+}
+
+// BenchmarkPlacementDisruption reports how many of 10k keys move when
+// one of 16 servers leaves — the scientific contrast between the two
+// schemes.
+func BenchmarkPlacementDisruption(b *testing.B) {
+	const keys = 10_000
+	moved := func(owner func(string) string, remove func()) float64 {
+		before := make(map[string]string, keys)
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("key-%d", i)
+			before[k] = owner(k)
+		}
+		remove()
+		n := 0
+		for k, prev := range before {
+			if prev != "server-3" && owner(k) != prev {
+				n++
+			}
+		}
+		return 100 * float64(n) / keys
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ring := cdn.NewHashRing()
+		var mod cdn.ModuloPlacement
+		for j := 0; j < 16; j++ {
+			ring.Add(fmt.Sprintf("server-%d", j))
+			mod.Add(fmt.Sprintf("server-%d", j))
+		}
+		ringMoved := moved(ring.Owner, func() { ring.Remove("server-3") })
+		modMoved := moved(mod.Owner, func() { mod.Remove("server-3") })
+		if i == b.N-1 {
+			b.ReportMetric(ringMoved, "ring_moved_pct")
+			b.ReportMetric(modMoved, "modulo_moved_pct")
+		}
+	}
+}
+
+// --- Ablation: simnet event queue ----------------------------------
+
+func BenchmarkSimnetEventQueue(b *testing.B) {
+	var clock simnet.Clock
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Schedule(time.Duration(rng.Intn(1_000_000)), func() {})
+		if i%1024 == 1023 {
+			clock.Run()
+		}
+	}
+	clock.Run()
+}
+
+func BenchmarkSimnetExchange(b *testing.B) {
+	net := simnet.New(6)
+	net.AddNode("a")
+	net.AddNode("b")
+	net.AddLink("a", "b", simnet.Constant(time.Millisecond), 0)
+	net.Node("b").SetHandler(simnet.HandlerFunc(func(ctx *simnet.Ctx, dg simnet.Datagram) {
+		ctx.Reply(dg.Payload, 0)
+	}))
+	ep := net.Node("a").Endpoint()
+	dst := net.Node("b").Addr
+	payload := []byte("benchmark")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ep.Exchange(dst, payload, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: zone lookup and LRU ----------------------------------
+
+func BenchmarkZoneLookup(b *testing.B) {
+	zone := dnsserver.NewZone("bench.test.")
+	for i := 0; i < 1000; i++ {
+		if err := zone.AddA(fmt.Sprintf("host-%d.bench.test.", i), 60,
+			netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, _ := zone.Lookup(fmt.Sprintf("host-%d.bench.test.", i%1000), dnswire.TypeA)
+		if res != dnsserver.LookupSuccess {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+func BenchmarkLRUContentCache(b *testing.B) {
+	lru := cdn.NewLRU(64 << 20)
+	for i := 0; i < 1024; i++ {
+		lru.Put(cdn.Content{Name: fmt.Sprintf("obj-%d", i), Size: 32 << 10})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lru.Get(fmt.Sprintf("obj-%d", i%2048)) // 50% hit mix
+	}
+}
+
+func BenchmarkDNSMessageCache(b *testing.B) {
+	clock := &vclock.Fixed{}
+	cache := dnsserver.NewCache(clock)
+	backend := dnsserver.HandlerFunc(func(ctx context.Context, w dnsserver.ResponseWriter, r *dnsserver.Request) (dnswire.Rcode, error) {
+		m := new(dnswire.Message)
+		m.SetReply(r.Msg)
+		m.Answers = []dnswire.RR{&dnswire.A{
+			Hdr:  dnswire.RRHeader{Name: r.Name(), Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 300},
+			Addr: netip.MustParseAddr("192.0.2.1"),
+		}}
+		return m.Rcode, w.WriteMsg(m)
+	})
+	chain := dnsserver.Chain(cache, benchPlugin{backend})
+	reqs := make([]*dnsserver.Request, 64)
+	for i := range reqs {
+		q := new(dnswire.Message)
+		q.SetQuestion(fmt.Sprintf("host-%d.bench.test.", i), dnswire.TypeA)
+		reqs[i] = &dnsserver.Request{Msg: q}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := dnsserver.Resolve(context.Background(), chain, reqs[i%len(reqs)])
+		if resp.Rcode != dnswire.RcodeSuccess {
+			b.Fatal("bad rcode")
+		}
+	}
+}
+
+// benchPlugin adapts a terminal handler as a plugin.
+type benchPlugin struct{ h dnsserver.Handler }
+
+func (p benchPlugin) Name() string { return "bench" }
+func (p benchPlugin) ServeDNS(ctx context.Context, w dnsserver.ResponseWriter, r *dnsserver.Request, _ dnsserver.Handler) (dnswire.Rcode, error) {
+	return p.h.ServeDNS(ctx, w, r)
+}
+
+// --- End-to-end MEC-CDN session -------------------------------------
+
+func BenchmarkMECCDNResolve(b *testing.B) {
+	tb := NewTestbed(TestbedConfig{Seed: 7})
+	site, err := DeploySite(tb, SiteConfig{Domain: "mycdn.ciab.test."})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ue := &UEClient{EP: tb.Net.Node(NodeUE).Endpoint(), MEC: site.LDNS}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ue.Resolve("video.demo1.mycdn.ciab.test."); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

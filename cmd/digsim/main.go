@@ -1,0 +1,85 @@
+// Command digsim is a dig-style DNS lookup tool built on this
+// repository's own wire codec and client. It queries real DNS servers
+// over UDP/TCP (with truncation fallback), so it can be pointed at
+// cmd/dnsd, examples/splitdns, or any server on the network.
+//
+// Usage:
+//
+//	digsim -server 127.0.0.1:5353 video.demo1.mycdn.ciab.test
+//	digsim -server 127.0.0.1:5353 -type TXT -ecs 203.0.113.0/24 example.test
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"strings"
+	"time"
+
+	meccdn "github.com/meccdn/meccdn"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "127.0.0.1:53", "DNS server address (host:port)")
+		qtype   = flag.String("type", "A", "query type: A, AAAA, CNAME, NS, SOA, TXT, SRV")
+		ecs     = flag.String("ecs", "", "attach an EDNS Client Subnet option (prefix, e.g. 203.0.113.0/24)")
+		timeout = flag.Duration("timeout", 3*time.Second, "per-attempt timeout")
+		retries = flag.Int("retries", 1, "retransmissions after a failed attempt")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: digsim [flags] <name>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*server, *qtype, *ecs, flag.Arg(0), *timeout, *retries); err != nil {
+		fmt.Fprintln(os.Stderr, "digsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(server, qtype, ecs, name string, timeout time.Duration, retries int) error {
+	addr, err := netip.ParseAddrPort(server)
+	if err != nil {
+		return fmt.Errorf("bad server address %q: %w", server, err)
+	}
+	types := map[string]meccdn.RecordType{
+		"A": meccdn.TypeA, "AAAA": meccdn.TypeAAAA, "CNAME": meccdn.TypeCNAME,
+		"NS": meccdn.TypeNS, "SOA": meccdn.TypeSOA, "TXT": meccdn.TypeTXT,
+		"SRV": meccdn.TypeSRV,
+	}
+	t, ok := types[strings.ToUpper(qtype)]
+	if !ok {
+		return fmt.Errorf("unsupported type %q", qtype)
+	}
+
+	q := new(meccdn.Message)
+	q.SetQuestion(name, t)
+	if ecs != "" {
+		prefix, err := netip.ParsePrefix(ecs)
+		if err != nil {
+			return fmt.Errorf("bad ECS prefix %q: %w", ecs, err)
+		}
+		opt := q.SetEDNS(1232)
+		opt.Options = append(opt.Options, meccdn.NewECSOption(prefix))
+	}
+
+	client := &meccdn.Client{
+		Transport: &meccdn.NetTransport{},
+		Timeout:   timeout,
+		Retries:   retries,
+		UDPSize:   1232,
+	}
+	start := time.Now()
+	resp, err := client.Do(context.Background(), addr, q)
+	if err != nil {
+		return err
+	}
+	rtt := time.Since(start)
+	fmt.Print(resp.String())
+	fmt.Printf("\n;; Query time: %v\n;; SERVER: %v\n", rtt.Round(time.Microsecond), addr)
+	return nil
+}

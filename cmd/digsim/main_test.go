@@ -1,0 +1,56 @@
+package main
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	meccdn "github.com/meccdn/meccdn"
+)
+
+// startServer runs a real DNS server on loopback for the tool tests.
+func startServer(t *testing.T) netip.AddrPort {
+	t.Helper()
+	zone := meccdn.NewZone("tool.test.")
+	if err := zone.AddA("www.tool.test.", 60, netip.MustParseAddr("192.0.2.99")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zone.Add(&meccdn.TXT{
+		Hdr: meccdn.RRHeader{Name: "txt.tool.test.", Type: meccdn.TypeTXT, Class: 1, TTL: 60},
+		Txt: []string{"hello"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := &meccdn.DNSServer{Addr: "127.0.0.1:0", Handler: meccdn.Chain(meccdn.NewZonePlugin(zone))}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.LocalAddr()
+}
+
+func TestRunAgainstRealServer(t *testing.T) {
+	addr := startServer(t)
+	if err := run(addr.String(), "A", "", "www.tool.test", time.Second, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(addr.String(), "TXT", "", "txt.tool.test", time.Second, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(addr.String(), "A", "203.0.113.0/24", "www.tool.test", time.Second, 1); err != nil {
+		t.Fatalf("with ECS: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	addr := startServer(t)
+	if err := run("not-an-address", "A", "", "x.test", time.Second, 0); err == nil {
+		t.Error("bad server accepted")
+	}
+	if err := run(addr.String(), "WEIRD", "", "x.test", time.Second, 0); err == nil {
+		t.Error("bad type accepted")
+	}
+	if err := run(addr.String(), "A", "nonsense", "x.test", time.Second, 0); err == nil {
+		t.Error("bad ECS accepted")
+	}
+}

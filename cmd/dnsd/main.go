@@ -1,0 +1,124 @@
+// Command dnsd runs the plugin-chain DNS server on real UDP and TCP
+// sockets, serving operator-authored zone files authoritatively and
+// forwarding everything else to an upstream resolver — a miniature
+// CoreDNS shaped like the paper's MEC L-DNS.
+//
+// Usage:
+//
+//	dnsd -listen 127.0.0.1:5353 -zone mycdn.ciab.test.=./mycdn.zone \
+//	     -stub cdn.example.=192.0.2.53:53 -forward 9.9.9.9:53
+//
+// Flags may repeat: -zone and -stub accumulate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	meccdn "github.com/meccdn/meccdn"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:5353", "listen address (UDP and TCP)")
+		forward = flag.String("forward", "", "upstream resolver for unmatched names (host:port)")
+		zones   repeated
+		stubs   repeated
+	)
+	flag.Var(&zones, "zone", "origin=path to a zone file (repeatable)")
+	flag.Var(&stubs, "stub", "domain=upstream for stub-domain routing (repeatable)")
+	flag.Parse()
+
+	if err := run(*listen, *forward, zones, stubs); err != nil {
+		fmt.Fprintln(os.Stderr, "dnsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, forward string, zones, stubs []string) error {
+	srv, metrics, err := build(listen, forward, zones, stubs)
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("dnsd listening on %v (UDP+TCP); Ctrl-C to stop\n", srv.LocalAddr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("\nshutting down; served %d queries\n", metrics.Total())
+	return srv.Close()
+}
+
+// build assembles the server from the flag values without starting it.
+func build(listen, forward string, zones, stubs []string) (*meccdn.DNSServer, *meccdn.DNSMetrics, error) {
+	metrics := meccdn.NewDNSMetrics()
+	cache := meccdn.NewDNSCache(meccdn.RealClock())
+	plugins := []meccdn.DNSPlugin{metrics, cache}
+
+	client := &meccdn.Client{Transport: &meccdn.NetTransport{}, Timeout: 3 * time.Second, Retries: 1}
+
+	if len(stubs) > 0 {
+		stub := meccdn.NewStub(client)
+		for _, s := range stubs {
+			domain, upstream, ok := strings.Cut(s, "=")
+			if !ok {
+				return nil, nil, fmt.Errorf("bad -stub %q, want domain=host:port", s)
+			}
+			addr, err := netip.ParseAddrPort(upstream)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad stub upstream %q: %w", upstream, err)
+			}
+			stub.Route(domain, addr)
+			fmt.Printf("stub-domain %s -> %v\n", meccdn.CanonicalName(domain), addr)
+		}
+		plugins = append(plugins, stub)
+	}
+
+	if len(zones) > 0 {
+		zp := meccdn.NewZonePlugin()
+		for _, z := range zones {
+			origin, path, ok := strings.Cut(z, "=")
+			if !ok {
+				return nil, nil, fmt.Errorf("bad -zone %q, want origin=path", z)
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			zone, err := meccdn.ParseZone(origin, f)
+			f.Close()
+			if err != nil {
+				return nil, nil, err
+			}
+			zp.AddZone(zone)
+			fmt.Printf("authoritative for %s (%d names)\n", zone.Origin, len(zone.Names()))
+		}
+		plugins = append(plugins, zp)
+	}
+
+	if forward != "" {
+		addr, err := netip.ParseAddrPort(forward)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad -forward %q: %w", forward, err)
+		}
+		plugins = append(plugins, &meccdn.Forward{Upstreams: []netip.AddrPort{addr}, Client: client})
+		fmt.Printf("forwarding unmatched names to %v\n", addr)
+	}
+
+	srv := &meccdn.DNSServer{Addr: listen, Handler: meccdn.Chain(plugins...)}
+	return srv, metrics, nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	meccdn "github.com/meccdn/meccdn"
+)
+
+func writeZoneFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.zone")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuildAndServe(t *testing.T) {
+	zonePath := writeZoneFile(t, `
+@ 3600 IN SOA ns hostmaster 1 7200 3600 1209600 300
+www 60 IN A 192.0.2.88
+`)
+	srv, metrics, err := build("127.0.0.1:0", "", []string{"dnsd.test.=" + zonePath}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &meccdn.Client{Transport: &meccdn.NetTransport{}, Timeout: 2 * time.Second}
+	resp, err := client.Query(context.Background(), srv.LocalAddr(), "www.dnsd.test.", meccdn.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].(*meccdn.A).Addr.String() != "192.0.2.88" {
+		t.Errorf("answers = %v", resp.Answers)
+	}
+	if metrics.Total() != 1 {
+		t.Errorf("metrics total = %d", metrics.Total())
+	}
+}
+
+func TestBuildStubAndForward(t *testing.T) {
+	// Upstream server the stub and forward point at.
+	upZone := meccdn.NewZone("up.test.")
+	if err := upZone.AddA("host.up.test.", 60, netip.MustParseAddr("192.0.2.44")); err != nil {
+		t.Fatal(err)
+	}
+	stubZone := meccdn.NewZone("cdn.test.")
+	if err := stubZone.AddA("video.cdn.test.", 60, netip.MustParseAddr("192.0.2.55")); err != nil {
+		t.Fatal(err)
+	}
+	upstream := &meccdn.DNSServer{
+		Addr:    "127.0.0.1:0",
+		Handler: meccdn.Chain(meccdn.NewZonePlugin(upZone, stubZone)),
+	}
+	if err := upstream.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer upstream.Close()
+	up := upstream.LocalAddr().String()
+
+	srv, _, err := build("127.0.0.1:0", up, nil, []string{"cdn.test.=" + up})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &meccdn.Client{Transport: &meccdn.NetTransport{}, Timeout: 2 * time.Second}
+	// Stub domain.
+	resp, err := client.Query(context.Background(), srv.LocalAddr(), "video.cdn.test.", meccdn.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("stub answers = %v", resp.Answers)
+	}
+	// Forwarded name.
+	resp, err = client.Query(context.Background(), srv.LocalAddr(), "host.up.test.", meccdn.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("forward answers = %v", resp.Answers)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, _, err := build(":0", "", []string{"missing-equals"}, nil); err == nil {
+		t.Error("bad -zone accepted")
+	}
+	if _, _, err := build(":0", "", []string{"z.test.=/no/such/file"}, nil); err == nil {
+		t.Error("missing zone file accepted")
+	}
+	if _, _, err := build(":0", "", nil, []string{"noequals"}); err == nil {
+		t.Error("bad -stub accepted")
+	}
+	if _, _, err := build(":0", "", nil, []string{"d.test.=notanaddr"}); err == nil {
+		t.Error("bad stub upstream accepted")
+	}
+	if _, _, err := build(":0", "notanaddr", nil, nil); err == nil {
+		t.Error("bad -forward accepted")
+	}
+}

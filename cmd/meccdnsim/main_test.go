@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(1, 10, 30, "4g", 2, "availability", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllPoliciesAndAirs(t *testing.T) {
+	for _, policy := range []string{"availability", "geo", "rr", "load"} {
+		if err := run(2, 5, 10, "5g", 3, policy, true); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+	}
+	if err := run(2, 5, 10, "4g", 1, "bogus", false); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

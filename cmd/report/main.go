@@ -1,0 +1,172 @@
+// Command report runs the complete experiment suite and writes a
+// self-contained markdown report — tables, ASCII bar charts, and the
+// headline claims — to stdout or a file. It is the "make everything
+// and show me" entry point:
+//
+//	go run ./cmd/report -o REPORT.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/meccdn/meccdn/internal/experiments"
+	"github.com/meccdn/meccdn/internal/lte"
+	"github.com/meccdn/meccdn/internal/stats"
+)
+
+func main() {
+	var (
+		out  = flag.String("o", "", "output file (default stdout)")
+		seed = flag.Int64("seed", 42, "simulation seed")
+		runs = flag.Int("runs", 15, "runs per bar")
+	)
+	flag.Parse()
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := write(w, *seed, *runs); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+}
+
+// bar renders an ASCII bar proportional to value/max.
+func bar(value, max float64, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n < 1 {
+		n = 1
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("█", n)
+}
+
+func write(w io.Writer, seed int64, runs int) error {
+	fmt.Fprintf(w, "# MEC-CDN experiment report\n\n")
+	fmt.Fprintf(w, "Seed %d, %d runs per bar. Regenerate with `go run ./cmd/report -seed %d -runs %d`.\n\n",
+		seed, runs, seed, runs)
+
+	fmt.Fprintf(w, "## Table 1 — tested CDN domains\n\n```\n%s```\n\n", experiments.RenderTable1())
+	fmt.Fprintf(w, "## Table 2 — entities and roles\n\n```\n%s```\n\n", experiments.RenderTable2())
+
+	// Figure 2.
+	fig2, err := experiments.Figure2(experiments.Fig2Config{Seed: seed, Runs: runs})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Figure 2 — DNS lookup latency by access network\n\n")
+	var fig2Max float64
+	for _, row := range fig2.Cells {
+		for _, c := range row {
+			if v := stats.Ms(c.Bar.Mean); v > fig2Max {
+				fig2Max = v
+			}
+		}
+	}
+	for _, row := range fig2.Cells {
+		fmt.Fprintf(w, "**%s**\n\n```\n", row[0].Domain)
+		for _, c := range row {
+			v := stats.Ms(c.Bar.Mean)
+			fmt.Fprintf(w, "%-16s %7.1fms %s\n", c.Access, v, bar(v, fig2Max, 40))
+		}
+		fmt.Fprintf(w, "```\n\n")
+	}
+
+	// Figure 3.
+	fig3, err := experiments.Figure3(experiments.Fig3Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Figure 3 — response distribution across cache pools\n\n```\n%s```\n\n", fig3.Render())
+
+	// Figure 5 on 4G and 5G.
+	for _, air := range []lte.AirProfile{lte.LTE4G(), lte.NR5G()} {
+		fig5, err := experiments.Figure5(experiments.Fig5Config{Seed: seed, Runs: runs, Air: air})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "## Figure 5 — DNS latency across deployments (%s)\n\n```\n", fig5.Air)
+		var max float64
+		for _, row := range fig5.Rows {
+			if v := stats.Ms(row.Bar.Mean); v > max {
+				max = v
+			}
+		}
+		for _, row := range fig5.Rows {
+			v := stats.Ms(row.Bar.Mean)
+			fmt.Fprintf(w, "%-24s %7.1fms %s\n", row.Label, v, bar(v, max, 44))
+		}
+		fmt.Fprintf(w, "```\n\nSpeedup of MEC-CDN over the slowest deployment: **%.1f×**.\n\n", fig5.Speedup())
+	}
+
+	// ECS.
+	ecs, err := experiments.ECS(experiments.Fig5Config{Seed: seed, Runs: runs})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## §4 — EDNS Client Subnet\n\n```\n%s```\n\n", ecs.Render())
+
+	// Extensions.
+	fb, err := experiments.Fallback(seed, runs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## X1 — resolution policies\n\n```\n%s```\n\n", fb.Render())
+
+	dis, err := experiments.Disaggregation(seed, 0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## X2 — request disaggregation\n\n```\n%s```\n\n", dis.Render())
+
+	ipr, err := experiments.IPReuse(seed, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## X4 — public-IP reuse\n\n```\n%s```\n\n", ipr.Render())
+
+	shed, err := experiments.LoadShed(seed, 20, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## X5 — ingress load shedding\n\n```\n%s```\n\n", shed.Render())
+
+	sweep, err := experiments.BudgetSweep(experiments.SweepConfig{Seed: seed, Runs: runs})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## X6 — C-DNS distance sweep\n\n```\n")
+	var sweepMax float64
+	for _, p := range sweep.Points {
+		if v := stats.Ms(p.Resolver); v > sweepMax {
+			sweepMax = v
+		}
+	}
+	for _, p := range sweep.Points {
+		v := stats.Ms(p.Resolver)
+		marker := " "
+		if !p.FitsBudget {
+			marker = "✗"
+		}
+		fmt.Fprintf(w, "c-dns %6.1fms away: DNS part %6.1fms %s %s\n",
+			stats.Ms(p.OneWay), v, bar(v, sweepMax, 36), marker)
+	}
+	fmt.Fprintf(w, "```\n\nThe 20 ms DNS budget breaks at ≥%.1f ms one-way (✗ rows).\n",
+		stats.Ms(sweep.Crossover))
+	return nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteReport(t *testing.T) {
+	var sb strings.Builder
+	if err := write(&sb, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# MEC-CDN experiment report",
+		"Table 1", "Table 2", "Figure 2", "Figure 3",
+		"Figure 5 — DNS latency across deployments (4g-lte)",
+		"Figure 5 — DNS latency across deployments (5g-nr)",
+		"EDNS Client Subnet", "X1", "X2", "X4", "X5", "X6",
+		"█", "Speedup of MEC-CDN",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Handoff demo: a UE moves between two base stations, each fronting
+// its own MEC-CDN site. The mobility manager performs the paper's DNS
+// switch-over — "when an end user connects to a particular base
+// station, its target DNS is switched to that of the MEC DNS" — so
+// content keeps coming from the nearest edge before and after the
+// handoff.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	meccdn "github.com/meccdn/meccdn"
+)
+
+const domain = "mycdn.ciab.test."
+const object = "video.demo1.mycdn.ciab.test."
+
+func main() {
+	tb := meccdn.NewTestbed(meccdn.TestbedConfig{Seed: 3, BaseStations: 2})
+
+	// One origin in the cloud; both edge sites fill from it.
+	originNode := tb.AddWAN("origin", 1)
+	origin := meccdn.NewOrigin()
+	catalog := meccdn.NewCatalog(domain)
+	catalog.Publish(meccdn.Content{Name: object, Size: 1 << 20})
+	origin.AddCatalog(catalog)
+	meccdn.NewOriginServer(originNode, origin, meccdn.Constant(2*time.Millisecond))
+
+	// Two MEC-CDN sites sharing the EPC.
+	siteA, err := meccdn.DeploySite(tb, meccdn.SiteConfig{
+		Domain: domain, NamePrefix: "a-", OriginAddr: originNode.Addr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	siteB, err := meccdn.DeploySite(tb, meccdn.SiteConfig{
+		Domain: domain, NamePrefix: "b-", OriginAddr: originNode.Addr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	siteA.Warm(meccdn.Content{Name: object, Size: 1 << 20})
+	siteB.Warm(meccdn.Content{Name: object, Size: 1 << 20})
+
+	// The mobility manager owns the radio bearer and the DNS target.
+	air := meccdn.LTE4G()
+	mm := meccdn.NewMobilityManager(tb.Net, air.Delay, 0)
+	mustAdd := func(name, enb string, site *meccdn.Site) {
+		if err := mm.AddSite(meccdn.MobilitySite{Name: name, ENB: enb, DNS: site.LDNS}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mustAdd("site-a", meccdn.ENB(0), siteA)
+	mustAdd("site-b", meccdn.ENB(1), siteB)
+	mm.Observe(func(ev meccdn.MobilityEvent) {
+		fmt.Printf(">>> mobility: %s %q -> %q\n", ev.UE, ev.From, ev.To)
+	})
+
+	fetch := func(label string) {
+		dns, ok := mm.CurrentDNS(meccdn.NodeUE)
+		if !ok {
+			log.Fatal("UE not attached")
+		}
+		ue := &meccdn.UEClient{EP: tb.Net.Node(meccdn.NodeUE).Endpoint(), MEC: dns}
+		res, err := ue.ResolveAndFetch(domain, object)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s dns=%v cache=%v  resolve=%v fetch=%s/%v total=%v\n",
+			label, dns.Addr(), res.Resolve.Addr, res.Resolve.RTT,
+			res.Content.Status, res.Content.RTT, res.Total)
+	}
+
+	if _, err := mm.Attach(meccdn.NodeUE, "site-a"); err != nil {
+		log.Fatal(err)
+	}
+	fetch("at site-a:")
+
+	if _, err := mm.Handoff(meccdn.NodeUE, "site-b"); err != nil {
+		log.Fatal(err)
+	}
+	fetch("after handoff:")
+
+	fmt.Println("\nThe cache cluster IP changes with the site: each edge answers from")
+	fmt.Println("its own instances, and latency stays edge-contained through the move.")
+}

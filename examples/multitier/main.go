@@ -1,0 +1,85 @@
+// Multi-tier demo: the paper's §3 P2 escape hatch — "in cases where
+// the content is not available at MEC-CDN, C-DNS simply returns the
+// address of another C-DNS running at a different CDN tier, e.g., a
+// mid-tier running alongside the mobile network core, or a far-tier
+// running in the cloud."
+//
+// This example deploys a CDN domain at the mid tier only; the edge
+// C-DNS answers with a cross-tier referral that the UE chases, paying
+// the extra distance — and shows the latency gap that makes true edge
+// placement worth it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	meccdn "github.com/meccdn/meccdn"
+)
+
+const domain = "mycdn.ciab.test."
+const object = "video.demo1.mycdn.ciab.test."
+
+func main() {
+	tb := meccdn.NewTestbed(meccdn.TestbedConfig{Seed: 5})
+
+	// Far tier: the origin in the cloud.
+	originNode := tb.AddWAN("origin", 1)
+	origin := meccdn.NewOrigin()
+	catalog := meccdn.NewCatalog(domain)
+	catalog.Publish(meccdn.Content{Name: object, Size: 1 << 20})
+	origin.AddCatalog(catalog)
+	meccdn.NewOriginServer(originNode, origin, meccdn.Constant(2*time.Millisecond))
+
+	// Mid tier alongside the core: one cache + its own C-DNS.
+	midCacheNode := tb.AddLAN("mid-cache")
+	midCache := meccdn.NewCacheServer(midCacheNode, meccdn.CacheServerConfig{
+		Name: "mid-cache", Tier: meccdn.TierMid, CapacityBytes: 64 << 20,
+		Parent: originNode.Addr, Domains: []string{domain},
+	})
+	midRouter := meccdn.NewRouter(domain)
+	midRouter.AddServer(midCache, meccdn.Location{Name: "mid"})
+	midCDNS := tb.AddLAN("mid-cdns")
+	meccdn.AttachDNS(midCDNS, meccdn.Chain(midRouter), meccdn.Constant(time.Millisecond))
+
+	// Edge tier: a C-DNS with NO local replicas of this domain,
+	// parented to the mid tier.
+	edgeRouter := meccdn.NewRouter(domain)
+	edgeRouter.Parent = midCDNS.Addr
+	edgeCDNS := tb.AddMEC("edge-cdns")
+	meccdn.AttachDNS(edgeCDNS, meccdn.Chain(edgeRouter), meccdn.Constant(time.Millisecond))
+
+	ue := &meccdn.UEClient{EP: tb.Net.Node(meccdn.NodeUE).Endpoint()}
+
+	// 1) Domain not deployed at the edge: the edge C-DNS refers the
+	//    client to the mid tier.
+	ue.MEC = addrPort(edgeCDNS)
+	res, err := ue.Resolve(object)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edge miss  -> %-14s via %-10s in %v (referral chased to mid tier)\n",
+		res.Addr, res.Source, res.RTT)
+
+	// 2) Now the customer deploys at the edge: one extra cache server
+	//    registered with the edge C-DNS, and the referral disappears.
+	edgeCacheNode := tb.AddMEC("edge-cache")
+	edgeCache := meccdn.NewCacheServer(edgeCacheNode, meccdn.CacheServerConfig{
+		Name: "edge-cache", Tier: meccdn.TierEdge, CapacityBytes: 64 << 20,
+		Parent: midCache.Addr(), Domains: []string{domain},
+	})
+	edgeCache.Warm(meccdn.Content{Name: object, Size: 1 << 20})
+	edgeRouter.AddServer(edgeCache, meccdn.Location{Name: "edge"})
+
+	res2, err := ue.Resolve(object)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edge hit   -> %-14s via %-10s in %v\n", res2.Addr, res2.Source, res2.RTT)
+	fmt.Printf("\nedge deployment cuts resolution from %v to %v (%.1fx)\n",
+		res.RTT, res2.RTT, float64(res.RTT)/float64(res2.RTT))
+}
+
+func addrPort(n *meccdn.Node) netip.AddrPort { return netip.AddrPortFrom(n.Addr, 53) }

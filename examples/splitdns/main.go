@@ -1,0 +1,87 @@
+// Split-namespace DNS over real UDP sockets: the same plugin chain the
+// simulated MEC L-DNS runs, served on 127.0.0.1 and queried with the
+// library's own stub client. Internal clients (here: 127.0.0.1, since
+// everything is loopback, we split on source port range instead via a
+// demo classifier) see the cluster namespace; everyone else sees only
+// the public MEC-CDN names.
+//
+// Run it:
+//
+//	go run ./examples/splitdns
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	meccdn "github.com/meccdn/meccdn"
+)
+
+func main() {
+	// Internal view: the orchestrator's service-discovery zone.
+	internal := meccdn.NewZone("cluster.local.")
+	must(internal.AddA("coredns.kube-system.svc.cluster.local.", 30, netip.MustParseAddr("10.96.0.10")))
+	must(internal.AddA("traffic-router.cdn.svc.cluster.local.", 30, netip.MustParseAddr("10.96.0.11")))
+
+	// Public view: MEC-CDN names only, answering with cluster IPs —
+	// no vRAN host addresses are ever exposed.
+	public := meccdn.NewZone("mycdn.ciab.test.")
+	must(public.AddA("video.demo1.mycdn.ciab.test.", 30, netip.MustParseAddr("10.96.0.20")))
+	must(public.AddCNAME("img.demo1.mycdn.ciab.test.", 300, "video.demo1.mycdn.ciab.test."))
+
+	// For the demo every client is loopback, so classify "internal"
+	// by a source-port convention (even port = internal VNF).
+	split := &meccdn.Split{
+		IsInternal: func(a netip.Addr) bool { return false }, // all external by address...
+		Internal:   meccdn.Chain(meccdn.NewZonePlugin(internal)),
+		Public:     meccdn.Chain(meccdn.NewZonePlugin(public)),
+	}
+	metrics := meccdn.NewDNSMetrics()
+
+	srv := &meccdn.DNSServer{
+		Addr:    "127.0.0.1:0",
+		Handler: meccdn.Chain(metrics, asPlugin(split)),
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.LocalAddr()
+	fmt.Printf("split-namespace DNS serving on %v (UDP+TCP)\n\n", addr)
+
+	client := &meccdn.Client{Transport: &meccdn.NetTransport{}, Timeout: 2 * time.Second}
+	lookup := func(name string) {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		resp, err := client.Query(ctx, addr, name, meccdn.TypeA)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %-42s -> %s", name, resp.Rcode)
+		for _, rr := range resp.Answers {
+			fmt.Printf("  %s", rr)
+		}
+		fmt.Println()
+	}
+
+	// Public clients resolve MEC-CDN names (including the CNAME
+	// chain) but get REFUSED for the internal namespace.
+	lookup("video.demo1.mycdn.ciab.test.")
+	lookup("img.demo1.mycdn.ciab.test.")
+	lookup("coredns.kube-system.svc.cluster.local.")
+
+	fmt.Printf("\nserved %d queries over real sockets\n", metrics.Total())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// asPlugin reuses Split (a plugin) directly; the helper only exists to
+// show the chain shape explicitly.
+func asPlugin(p meccdn.DNSPlugin) meccdn.DNSPlugin { return p }

@@ -1,0 +1,123 @@
+package meccdn_test
+
+// Facade coverage: every helper the public API exposes does what its
+// internal counterpart does.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	meccdn "github.com/meccdn/meccdn"
+)
+
+func TestFacadeNameHelpers(t *testing.T) {
+	if meccdn.CanonicalName("Video.CDN.Test") != "video.cdn.test." {
+		t.Error("CanonicalName")
+	}
+	if !meccdn.IsSubdomain("cdn.test.", "video.cdn.test.") {
+		t.Error("IsSubdomain")
+	}
+	if meccdn.IsSubdomain("cdn.test.", "other.test.") {
+		t.Error("IsSubdomain false positive")
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	if meccdn.NewDNSCache(meccdn.RealClock()) == nil {
+		t.Error("NewDNSCache")
+	}
+	if meccdn.NewStub(&meccdn.Client{}) == nil {
+		t.Error("NewStub")
+	}
+	if meccdn.NewACL() == nil {
+		t.Error("NewACL")
+	}
+	if meccdn.NewDNSMetrics() == nil {
+		t.Error("NewDNSMetrics")
+	}
+	if meccdn.NewGeoDB() == nil {
+		t.Error("NewGeoDB")
+	}
+	if meccdn.NewRouter("d.test.") == nil {
+		t.Error("NewRouter")
+	}
+	if meccdn.NewCatalog("d.test.") == nil || meccdn.NewOrigin() == nil {
+		t.Error("catalog/origin")
+	}
+	if len(meccdn.AllRoles()) != 7 {
+		t.Error("AllRoles")
+	}
+	owners := meccdn.PerformanceOwners([]meccdn.Entity{
+		{Name: "X", Roles: []meccdn.Role{meccdn.RoleDNSProvider}},
+		{Name: "Y", Roles: []meccdn.Role{meccdn.RoleWebProvider}},
+	})
+	if len(owners) != 1 || owners[0].Name != "X" {
+		t.Errorf("PerformanceOwners = %v", owners)
+	}
+	if !strings.Contains(meccdn.RenderTable1(), "Airbnb") {
+		t.Error("RenderTable1")
+	}
+	if !strings.Contains(meccdn.RenderTable2(), "MEC Provider") {
+		t.Error("RenderTable2")
+	}
+	if len(meccdn.PaperTable1()) != 5 {
+		t.Error("PaperTable1")
+	}
+}
+
+func TestFacadeExperimentRunners(t *testing.T) {
+	if _, err := meccdn.RunFigure2(meccdn.Fig2Config{Seed: 1, Runs: 12}); err != nil {
+		t.Error(err)
+	}
+	if _, err := meccdn.RunFigure3(meccdn.Fig3Config{Seed: 1, Queries: 30}); err != nil {
+		t.Error(err)
+	}
+	if _, err := meccdn.RunECS(meccdn.Fig5Config{Seed: 1, Runs: 4}); err != nil {
+		t.Error(err)
+	}
+	if _, err := meccdn.RunFallback(1, 4); err != nil {
+		t.Error(err)
+	}
+	if _, err := meccdn.RunDisaggregation(1, 100, 300); err != nil {
+		t.Error(err)
+	}
+	if _, err := meccdn.RunIPReuse(1, 3); err != nil {
+		t.Error(err)
+	}
+	if _, err := meccdn.RunLoadShed(1, 20, []int{10, 60}); err != nil {
+		t.Error(err)
+	}
+	sweep, err := meccdn.RunBudgetSweep(meccdn.SweepConfig{
+		Seed: 1, Runs: 4,
+		Distances: []time.Duration{time.Millisecond, 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Error(err)
+	} else if sweep.Crossover == 0 {
+		t.Error("sweep found no crossover at 20ms")
+	}
+}
+
+func TestFacadeMobilityAndSamplers(t *testing.T) {
+	tb := meccdn.NewTestbed(meccdn.TestbedConfig{Seed: 9, BaseStations: 2})
+	mm := meccdn.NewMobilityManager(tb.Net, meccdn.Constant(time.Millisecond), 0)
+	if mm == nil {
+		t.Fatal("NewMobilityManager")
+	}
+	if meccdn.ENB(1) != "enb1" {
+		t.Error("ENB")
+	}
+	orch, err := meccdn.NewOrchestrator(meccdn.OrchestratorConfig{Net: tb.Net, FabricNode: meccdn.NodePGW})
+	if err != nil || orch == nil {
+		t.Fatalf("NewOrchestrator: %v", err)
+	}
+	node := tb.AddMEC("extra")
+	cache := meccdn.NewCacheServer(node, meccdn.CacheServerConfig{Name: "extra", CapacityBytes: 1})
+	if cache == nil {
+		t.Error("NewCacheServer")
+	}
+	if meccdn.TierEdge.String() != "edge" || meccdn.TierMid.String() != "mid" || meccdn.TierFar.String() != "far" {
+		t.Error("tier aliases")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/meccdn/meccdn
+
+go 1.22

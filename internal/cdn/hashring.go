@@ -1,0 +1,168 @@
+package cdn
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// HashRing is a consistent-hash ring assigning content names to cache
+// servers, the placement scheme CDNs use so that adding or removing a
+// server reshuffles only ~1/N of the content (contrast with modulo
+// placement, benchmarked in the ablations).
+type HashRing struct {
+	// Replicas is the number of virtual nodes per server; higher
+	// values smooth the distribution. Zero means 256.
+	Replicas int
+
+	mu      sync.RWMutex
+	ring    []ringPoint
+	members map[string]bool
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewHashRing returns an empty ring.
+func NewHashRing() *HashRing {
+	return &HashRing{members: make(map[string]bool)}
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Add inserts a member (idempotent).
+func (r *HashRing) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	replicas := r.Replicas
+	if replicas <= 0 {
+		replicas = 256
+	}
+	for i := 0; i < replicas; i++ {
+		r.ring = append(r.ring, ringPoint{
+			hash:   hash64(fmt.Sprintf("%s#%d", member, i)),
+			member: member,
+		})
+	}
+	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].hash < r.ring[j].hash })
+}
+
+// Remove deletes a member and all its virtual nodes.
+func (r *HashRing) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	kept := r.ring[:0]
+	for _, p := range r.ring {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.ring = kept
+}
+
+// Owner returns the member owning key, or "" on an empty ring.
+func (r *HashRing) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns up to n distinct members responsible for key, in
+// ring order: the primary first, then the replicas that take over if
+// predecessors fail.
+func (r *HashRing) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.ring) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	var out []string
+	seen := make(map[string]bool, n)
+	for len(out) < n {
+		p := r.ring[i%len(r.ring)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+		i++
+	}
+	return out
+}
+
+// Members returns the current members, sorted.
+func (r *HashRing) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ModuloPlacement is the naive alternative placement: key → member by
+// hash modulo member count over a fixed sorted member list. It exists
+// as the ablation baseline for BenchmarkPlacement-style comparisons.
+type ModuloPlacement struct {
+	mu      sync.RWMutex
+	members []string
+}
+
+// Add inserts a member, keeping the list sorted.
+func (m *ModuloPlacement) Add(member string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, existing := range m.members {
+		if existing == member {
+			return
+		}
+	}
+	m.members = append(m.members, member)
+	sort.Strings(m.members)
+}
+
+// Remove deletes a member.
+func (m *ModuloPlacement) Remove(member string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kept := m.members[:0]
+	for _, existing := range m.members {
+		if existing != member {
+			kept = append(kept, existing)
+		}
+	}
+	m.members = kept
+}
+
+// Owner returns the member for key, or "".
+func (m *ModuloPlacement) Owner(key string) string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if len(m.members) == 0 {
+		return ""
+	}
+	return m.members[hash64(key)%uint64(len(m.members))]
+}

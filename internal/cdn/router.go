@@ -1,0 +1,379 @@
+package cdn
+
+import (
+	"context"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"github.com/meccdn/meccdn/internal/dnsserver"
+	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/geoip"
+)
+
+// ServerInfo is the router's view of one cache server.
+type ServerInfo struct {
+	Server *CacheServer
+	// Location places the server for geo policies.
+	Location geoip.Location
+	// Advertise, when valid, is the address published in DNS answers
+	// instead of the server's own — a k8s Service cluster IP in the
+	// paper's design, so clients never learn host IPs.
+	Advertise netip.Addr
+}
+
+// Answer returns the address to publish for this server.
+func (si *ServerInfo) Answer() netip.Addr {
+	if si.Advertise.IsValid() {
+		return si.Advertise
+	}
+	return si.Server.Addr()
+}
+
+// ClientInfo is what the router can learn about the requester: its
+// apparent address (often a gateway, not the end client) and, when
+// ECS is present, the disclosed client subnet.
+type ClientInfo struct {
+	Addr     netip.Addr
+	ECS      netip.Prefix
+	Location geoip.Location
+	Located  bool
+}
+
+// SelectionPolicy picks one cache server among candidates. Candidates
+// are always healthy; the slice is never empty.
+type SelectionPolicy interface {
+	// Name labels the policy in experiment output.
+	Name() string
+	Select(candidates []*ServerInfo, key string, client ClientInfo) *ServerInfo
+}
+
+// AvailabilityFirst prefers servers that already hold the content,
+// breaking ties by load: the "(iii) C-DNS must pick a cache server
+// which has the content and is nearest" requirement, content half.
+type AvailabilityFirst struct{}
+
+// Name implements SelectionPolicy.
+func (AvailabilityFirst) Name() string { return "availability-first" }
+
+// Select implements SelectionPolicy.
+func (AvailabilityFirst) Select(candidates []*ServerInfo, key string, _ ClientInfo) *ServerInfo {
+	var have, best *ServerInfo
+	for _, c := range candidates {
+		if c.Server.Cache().Contains(key) {
+			if have == nil || c.Server.Load() < have.Server.Load() {
+				have = c
+			}
+		}
+		if best == nil || c.Server.Load() < best.Server.Load() {
+			best = c
+		}
+	}
+	if have != nil {
+		return have
+	}
+	return best
+}
+
+// GeoNearest picks the server closest to the client's location,
+// falling back to least-loaded when the client cannot be located.
+type GeoNearest struct{}
+
+// Name implements SelectionPolicy.
+func (GeoNearest) Name() string { return "geo-nearest" }
+
+// Select implements SelectionPolicy.
+func (GeoNearest) Select(candidates []*ServerInfo, key string, client ClientInfo) *ServerInfo {
+	if !client.Located {
+		return AvailabilityFirst{}.Select(candidates, key, client)
+	}
+	best := candidates[0]
+	bestDist := client.Location.DistanceTo(best.Location)
+	for _, c := range candidates[1:] {
+		if d := client.Location.DistanceTo(c.Location); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// RoundRobin cycles through candidates, the classic load-balancing
+// baseline whose ignorance of content placement disaggregates
+// requests (the paper's Observation 2).
+type RoundRobin struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// Name implements SelectionPolicy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Select implements SelectionPolicy.
+func (r *RoundRobin) Select(candidates []*ServerInfo, _ string, _ ClientInfo) *ServerInfo {
+	r.mu.Lock()
+	i := r.n % uint64(len(candidates))
+	r.n++
+	r.mu.Unlock()
+	return candidates[i]
+}
+
+// LeastLoaded picks the candidate with the fewest requests in its
+// load window.
+type LeastLoaded struct{}
+
+// Name implements SelectionPolicy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Select implements SelectionPolicy.
+func (LeastLoaded) Select(candidates []*ServerInfo, _ string, _ ClientInfo) *ServerInfo {
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.Server.Load() < best.Server.Load() {
+			best = c
+		}
+	}
+	return best
+}
+
+// Router is the CDN request router (C-DNS): a dnsserver plugin that
+// answers A queries for names under its CDN domain with the address
+// of a selected cache server. It is the reproduction of Apache
+// Traffic Control's Traffic Router, scoped — when deployed at the MEC
+// — to just the edge site's cache instances.
+type Router struct {
+	// Domain is the CDN domain the router is authoritative for.
+	Domain string
+	// Policy selects among candidate servers; nil means
+	// AvailabilityFirst.
+	Policy SelectionPolicy
+	// Geo locates clients for geo policies; optional.
+	Geo *geoip.DB
+	// TTL for answers; CDN routers use short TTLs to keep routing
+	// responsive. Zero means 30.
+	TTL uint32
+	// Ring maps content keys to servers; populated by AddServer.
+	Ring *HashRing
+	// Replicas is how many ring owners are candidates per key; zero
+	// means 2.
+	Replicas int
+	// Parent, when valid, is the C-DNS one tier up: queries this
+	// router cannot serve locally are answered with the parent's
+	// address, the paper's cross-tier referral.
+	Parent netip.Addr
+
+	mu      sync.RWMutex
+	servers map[string]*ServerInfo
+}
+
+// NewRouter returns a router for domain.
+func NewRouter(domain string) *Router {
+	return &Router{
+		Domain:  canonicalDomain(domain),
+		Ring:    NewHashRing(),
+		servers: make(map[string]*ServerInfo),
+	}
+}
+
+// AddServer registers a cache server with the router.
+func (rt *Router) AddServer(s *CacheServer, loc geoip.Location) {
+	rt.AddServerAdvertise(s, loc, netip.Addr{})
+}
+
+// AddServerAdvertise registers a cache server that is published in
+// DNS answers under advertise (a Service cluster IP) rather than its
+// host address.
+func (rt *Router) AddServerAdvertise(s *CacheServer, loc geoip.Location, advertise netip.Addr) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.servers[s.Name] = &ServerInfo{Server: s, Location: loc, Advertise: advertise}
+	rt.Ring.Add(s.Name)
+}
+
+// RemoveServer deregisters a server (scale-down or failure).
+func (rt *Router) RemoveServer(name string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.servers, name)
+	rt.Ring.Remove(name)
+}
+
+// Servers returns the registered server names, sorted.
+func (rt *Router) Servers() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	names := make([]string, 0, len(rt.servers))
+	for n := range rt.servers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Name implements dnsserver.Plugin.
+func (rt *Router) Name() string { return "cdn-router" }
+
+// ServeDNS implements dnsserver.Plugin.
+func (rt *Router) ServeDNS(ctx context.Context, w dnsserver.ResponseWriter, r *dnsserver.Request, next dnsserver.Handler) (dnswire.Rcode, error) {
+	qname := r.Name()
+	if !dnswire.IsSubdomain(rt.Domain, qname) {
+		return next.ServeDNS(ctx, w, r)
+	}
+	if r.Type() != dnswire.TypeA && r.Type() != dnswire.TypeANY {
+		// The CDN domain exists but we only publish A records.
+		m := new(dnswire.Message)
+		m.SetReply(r.Msg)
+		m.Authoritative = true
+		if err := w.WriteMsg(m); err != nil {
+			return dnswire.RcodeServerFailure, err
+		}
+		return dnswire.RcodeSuccess, nil
+	}
+
+	selected := rt.Route(qname, rt.clientInfo(r))
+	var addr netip.Addr
+	switch {
+	case selected != nil:
+		addr = selected.Answer()
+	case rt.Parent.IsValid():
+		// Cross-tier referral: "C-DNS simply returns the address of
+		// another C-DNS running at a different CDN tier" (§3 P2).
+		// Encoded as a proper DNS referral so clients and resolvers
+		// can chase it: NS in authority, glue in additional.
+		return rt.writeReferral(w, r)
+	default:
+		m := new(dnswire.Message)
+		m.SetRcode(r.Msg, dnswire.RcodeServerFailure)
+		_ = w.WriteMsg(m)
+		return dnswire.RcodeServerFailure, nil
+	}
+
+	ttl := rt.TTL
+	if ttl == 0 {
+		ttl = 30
+	}
+	m := new(dnswire.Message)
+	m.SetReply(r.Msg)
+	m.Authoritative = true
+	m.Answers = []dnswire.RR{&dnswire.A{
+		Hdr:  dnswire.RRHeader{Name: qname, Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: ttl},
+		Addr: addr,
+	}}
+	if ecs, ok := r.Msg.ECS(); ok {
+		opt := m.SetEDNS(dnswire.DefaultEDNSSize)
+		scoped := *ecs
+		scoped.ScopePrefix = ecs.SourcePrefix
+		opt.Options = append(opt.Options, &scoped)
+	}
+	if err := w.WriteMsg(m); err != nil {
+		return dnswire.RcodeServerFailure, err
+	}
+	return dnswire.RcodeSuccess, nil
+}
+
+// ReferralNS is the owner label used for cross-tier C-DNS referrals:
+// the NS target is "<ReferralNS>.<cdn domain>" with a glue A record
+// carrying the parent router's address.
+const ReferralNS = "cdns-next-tier"
+
+// writeReferral answers with a delegation pointing at the parent-tier
+// C-DNS.
+func (rt *Router) writeReferral(w dnsserver.ResponseWriter, r *dnsserver.Request) (dnswire.Rcode, error) {
+	nsName := ReferralNS + "." + rt.Domain
+	m := new(dnswire.Message)
+	m.SetReply(r.Msg)
+	m.Authorities = []dnswire.RR{&dnswire.NS{
+		Hdr: dnswire.RRHeader{Name: rt.Domain, Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 30},
+		NS:  nsName,
+	}}
+	m.Additionals = []dnswire.RR{&dnswire.A{
+		Hdr:  dnswire.RRHeader{Name: nsName, Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 30},
+		Addr: rt.Parent,
+	}}
+	if err := w.WriteMsg(m); err != nil {
+		return dnswire.RcodeServerFailure, err
+	}
+	return dnswire.RcodeSuccess, nil
+}
+
+// Referral extracts the next-tier C-DNS address from a response, if
+// it is a cross-tier referral produced by writeReferral.
+func Referral(m *dnswire.Message) (netip.Addr, bool) {
+	if len(m.Answers) > 0 {
+		return netip.Addr{}, false
+	}
+	hasNS := false
+	for _, rr := range m.Authorities {
+		if ns, ok := rr.(*dnswire.NS); ok &&
+			dnswire.CanonicalName(ns.NS) == dnswire.CanonicalName(ReferralNS+"."+ns.Hdr.Name) {
+			hasNS = true
+		}
+	}
+	if !hasNS {
+		return netip.Addr{}, false
+	}
+	for _, rr := range m.Additionals {
+		if a, ok := rr.(*dnswire.A); ok {
+			return a.Addr, true
+		}
+	}
+	return netip.Addr{}, false
+}
+
+// Route selects a cache server for a content key, or nil when no
+// healthy server can serve it locally.
+func (rt *Router) Route(key string, client ClientInfo) *ServerInfo {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if len(rt.servers) == 0 {
+		return nil
+	}
+	replicas := rt.Replicas
+	if replicas <= 0 {
+		replicas = 2
+	}
+	var candidates []*ServerInfo
+	for _, name := range rt.Ring.Owners(key, replicas) {
+		if s := rt.servers[name]; s != nil && s.Server.Healthy() {
+			candidates = append(candidates, s)
+		}
+	}
+	if len(candidates) == 0 {
+		// All ring owners are down: fall back to any healthy server,
+		// iterated in sorted order for determinism.
+		names := make([]string, 0, len(rt.servers))
+		for n := range rt.servers {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if s := rt.servers[name]; s.Server.Healthy() {
+				candidates = append(candidates, s)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	policy := rt.Policy
+	if policy == nil {
+		policy = AvailabilityFirst{}
+	}
+	return policy.Select(candidates, key, client)
+}
+
+// clientInfo assembles what the router knows about the requester.
+func (rt *Router) clientInfo(r *dnsserver.Request) ClientInfo {
+	info := ClientInfo{Addr: r.Client.Addr()}
+	lookupAddr := info.Addr
+	if ecs, ok := r.Msg.ECS(); ok {
+		info.ECS = ecs.Prefix()
+		lookupAddr = ecs.Address
+	}
+	if rt.Geo != nil && lookupAddr.IsValid() {
+		if loc, ok := rt.Geo.Lookup(lookupAddr); ok {
+			info.Location = loc
+			info.Located = true
+		}
+	}
+	return info
+}

@@ -1,0 +1,275 @@
+package cdn
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/dnsserver"
+	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/geoip"
+	"github.com/meccdn/meccdn/internal/simnet"
+)
+
+// routerFixture is a router over three edge cache servers.
+type routerFixture struct {
+	net     *simnet.Network
+	router  *Router
+	servers []*CacheServer
+}
+
+func buildRouterFixture(t *testing.T, seed int64) *routerFixture {
+	t.Helper()
+	n := simnet.New(seed)
+	n.AddNode("hub")
+	rt := NewRouter("mycdn.ciab.test.")
+	fx := &routerFixture{net: n, router: rt}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("cache-%d", i)
+		n.AddNode(name)
+		n.AddLink("hub", name, simnet.Constant(time.Millisecond), 0)
+		s := NewCacheServer(n.Node(name), CacheServerConfig{
+			Name: name, Site: "mec-1", Tier: TierEdge, CapacityBytes: 1 << 20,
+			Domains: []string{"mycdn.ciab.test."},
+		})
+		rt.AddServer(s, geoip.Location{X: float64(i * 100), Name: name})
+		fx.servers = append(fx.servers, s)
+	}
+	return fx
+}
+
+func routerQuery(t *testing.T, rt *Router, qname string, client string) *dnswire.Message {
+	t.Helper()
+	q := new(dnswire.Message)
+	q.SetQuestion(qname, dnswire.TypeA)
+	req := &dnsserver.Request{Msg: q, Transport: "test"}
+	if client != "" {
+		req.Client = netip.MustParseAddrPort(client)
+	}
+	return dnsserver.Resolve(context.Background(), dnsserver.Chain(rt), req)
+}
+
+func TestRouterAnswersWithCacheServer(t *testing.T) {
+	fx := buildRouterFixture(t, 1)
+	resp := routerQuery(t, fx.router, "video.demo1.mycdn.ciab.test.", "198.51.100.1:5300")
+	if resp.Rcode != dnswire.RcodeSuccess || len(resp.Answers) != 1 {
+		t.Fatalf("rcode=%v answers=%v", resp.Rcode, resp.Answers)
+	}
+	got := resp.Answers[0].(*dnswire.A).Addr
+	found := false
+	for _, s := range fx.servers {
+		if s.Addr() == got {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("answer %v is not a registered cache server", got)
+	}
+	if ttl := resp.Answers[0].Header().TTL; ttl != 30 {
+		t.Errorf("ttl = %d", ttl)
+	}
+}
+
+func TestRouterStableMapping(t *testing.T) {
+	fx := buildRouterFixture(t, 2)
+	first := routerQuery(t, fx.router, "video.x.mycdn.ciab.test.", "198.51.100.1:5300").Answers[0].(*dnswire.A).Addr
+	for i := 0; i < 5; i++ {
+		got := routerQuery(t, fx.router, "video.x.mycdn.ciab.test.", "198.51.100.1:5300").Answers[0].(*dnswire.A).Addr
+		if got != first {
+			t.Fatal("mapping not stable across queries")
+		}
+	}
+}
+
+func TestRouterFallsThroughForOtherDomains(t *testing.T) {
+	fx := buildRouterFixture(t, 3)
+	resp := routerQuery(t, fx.router, "www.unrelated.example.", "")
+	if resp.Rcode != dnswire.RcodeRefused {
+		t.Errorf("rcode = %v, want chain fallthrough REFUSED", resp.Rcode)
+	}
+}
+
+func TestRouterNoDataForNonA(t *testing.T) {
+	fx := buildRouterFixture(t, 4)
+	q := new(dnswire.Message)
+	q.SetQuestion("video.demo1.mycdn.ciab.test.", dnswire.TypeAAAA)
+	resp := dnsserver.Resolve(context.Background(), dnsserver.Chain(fx.router), &dnsserver.Request{Msg: q})
+	if resp.Rcode != dnswire.RcodeSuccess || len(resp.Answers) != 0 {
+		t.Errorf("rcode=%v answers=%v", resp.Rcode, resp.Answers)
+	}
+}
+
+func TestRouterSkipsUnhealthy(t *testing.T) {
+	fx := buildRouterFixture(t, 5)
+	key := "video.y.mycdn.ciab.test."
+	primary := fx.router.Route(key, ClientInfo{})
+	primary.Server.SetHealthy(false)
+	second := fx.router.Route(key, ClientInfo{})
+	if second == nil {
+		t.Fatal("no server after failure")
+	}
+	if second.Server.Name == primary.Server.Name {
+		t.Error("unhealthy server still selected")
+	}
+}
+
+func TestRouterAllDownFallsBackToParent(t *testing.T) {
+	fx := buildRouterFixture(t, 6)
+	for _, s := range fx.servers {
+		s.SetHealthy(false)
+	}
+	parent := netip.MustParseAddr("203.0.113.200")
+	fx.router.Parent = parent
+	resp := routerQuery(t, fx.router, "video.demo1.mycdn.ciab.test.", "")
+	got, ok := Referral(resp)
+	if !ok || got != parent {
+		t.Errorf("referral = %v (%v), want parent %v\n%v", got, ok, parent, resp)
+	}
+}
+
+func TestReferralDetection(t *testing.T) {
+	// A plain positive answer is not a referral.
+	fx := buildRouterFixture(t, 60)
+	resp := routerQuery(t, fx.router, "video.demo1.mycdn.ciab.test.", "")
+	if _, ok := Referral(resp); ok {
+		t.Error("positive answer detected as referral")
+	}
+	// A zone delegation with a different NS name is not a tier
+	// referral either.
+	m := new(dnswire.Message)
+	m.Authorities = []dnswire.RR{&dnswire.NS{
+		Hdr: dnswire.RRHeader{Name: "x.test.", Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 30},
+		NS:  "ns1.x.test.",
+	}}
+	if _, ok := Referral(m); ok {
+		t.Error("ordinary delegation detected as tier referral")
+	}
+}
+
+func TestRouterAllDownNoParentServfails(t *testing.T) {
+	fx := buildRouterFixture(t, 7)
+	for _, s := range fx.servers {
+		s.SetHealthy(false)
+	}
+	resp := routerQuery(t, fx.router, "video.demo1.mycdn.ciab.test.", "")
+	if resp.Rcode != dnswire.RcodeServerFailure {
+		t.Errorf("rcode = %v", resp.Rcode)
+	}
+}
+
+func TestRouterRemoveServer(t *testing.T) {
+	fx := buildRouterFixture(t, 8)
+	fx.router.RemoveServer("cache-1")
+	if got := fx.router.Servers(); len(got) != 2 {
+		t.Fatalf("servers = %v", got)
+	}
+	for i := 0; i < 20; i++ {
+		sel := fx.router.Route(fmt.Sprintf("key-%d.mycdn.ciab.test.", i), ClientInfo{})
+		if sel.Server.Name == "cache-1" {
+			t.Fatal("removed server selected")
+		}
+	}
+}
+
+func TestAvailabilityFirstPrefersContentHolder(t *testing.T) {
+	fx := buildRouterFixture(t, 9)
+	fx.router.Replicas = 3 // all servers are candidates
+	key := "video.demo1.mycdn.ciab.test."
+	// Give the content to a specific server that is NOT necessarily
+	// the ring primary.
+	holder := fx.servers[2]
+	holder.Warm(Content{Name: key, Size: 10})
+	sel := fx.router.Route(key, ClientInfo{})
+	if sel.Server.Name != holder.Name {
+		t.Errorf("selected %s, want content holder %s", sel.Server.Name, holder.Name)
+	}
+}
+
+func TestGeoNearestUsesECS(t *testing.T) {
+	fx := buildRouterFixture(t, 10)
+	fx.router.Policy = GeoNearest{}
+	fx.router.Replicas = 3
+	db := geoip.New()
+	db.Register(netip.MustParsePrefix("198.51.100.0/24"), geoip.Location{X: 205, Name: "near-cache-2"})
+	fx.router.Geo = db
+
+	q := new(dnswire.Message)
+	q.SetQuestion("geo.mycdn.ciab.test.", dnswire.TypeA)
+	opt := q.SetEDNS(1232)
+	opt.Options = append(opt.Options, dnswire.NewECSOption(netip.MustParsePrefix("198.51.100.0/24")))
+	resp := dnsserver.Resolve(context.Background(), dnsserver.Chain(fx.router),
+		&dnsserver.Request{Msg: q, Client: netip.MustParseAddrPort("10.0.0.1:53")})
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %v", resp.Answers)
+	}
+	// cache-2 is at X=200, nearest to the ECS-disclosed location 205.
+	if got := resp.Answers[0].(*dnswire.A).Addr; got != fx.servers[2].Addr() {
+		t.Errorf("geo policy picked %v, want cache-2 (%v)", got, fx.servers[2].Addr())
+	}
+	ecs, ok := resp.ECS()
+	if !ok || ecs.ScopePrefix != 24 {
+		t.Errorf("response ECS = %+v", ecs)
+	}
+}
+
+func TestGeoNearestFallsBackWithoutLocation(t *testing.T) {
+	fx := buildRouterFixture(t, 11)
+	fx.router.Policy = GeoNearest{}
+	sel := fx.router.Route("k.mycdn.ciab.test.", ClientInfo{})
+	if sel == nil {
+		t.Fatal("no selection without geo data")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	fx := buildRouterFixture(t, 12)
+	rr := &RoundRobin{}
+	fx.router.Policy = rr
+	fx.router.Replicas = 3
+	seen := map[string]int{}
+	for i := 0; i < 9; i++ {
+		sel := fx.router.Route("const-key.mycdn.ciab.test.", ClientInfo{})
+		seen[sel.Server.Name]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("round robin used %d servers: %v", len(seen), seen)
+	}
+	for name, n := range seen {
+		if n != 3 {
+			t.Errorf("%s selected %d times, want 3", name, n)
+		}
+	}
+}
+
+func TestLeastLoadedPolicy(t *testing.T) {
+	fx := buildRouterFixture(t, 13)
+	fx.router.Policy = LeastLoaded{}
+	fx.router.Replicas = 3
+	// Load up two servers via direct fetches.
+	ep := fx.net.Node("hub").Endpoint()
+	for i := 0; i < 4; i++ {
+		_, _ = Fetch(ep, fx.servers[0].Addr(), "mycdn.ciab.test.", "junk", 100*time.Millisecond)
+		_, _ = Fetch(ep, fx.servers[1].Addr(), "mycdn.ciab.test.", "junk", 100*time.Millisecond)
+	}
+	sel := fx.router.Route("lb.mycdn.ciab.test.", ClientInfo{})
+	if sel.Server.Name != "cache-2" {
+		t.Errorf("least-loaded picked %s", sel.Server.Name)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []SelectionPolicy{AvailabilityFirst{}, GeoNearest{}, &RoundRobin{}, LeastLoaded{}} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}
+
+func TestRouterEmpty(t *testing.T) {
+	rt := NewRouter("empty.test.")
+	if sel := rt.Route("x.empty.test.", ClientInfo{}); sel != nil {
+		t.Error("selection from empty router")
+	}
+}

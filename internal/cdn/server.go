@@ -1,0 +1,295 @@
+package cdn
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/simnet"
+)
+
+// Tier is a CDN hierarchy level.
+type Tier int
+
+// CDN tiers, nearest to farthest from the client.
+const (
+	TierEdge Tier = iota // at the MEC site
+	TierMid              // alongside the mobile core
+	TierFar              // in the cloud, over WAN
+)
+
+// String returns the tier label.
+func (t Tier) String() string {
+	switch t {
+	case TierEdge:
+		return "edge"
+	case TierMid:
+		return "mid"
+	case TierFar:
+		return "far"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// The content protocol is a two-line text exchange over simnet
+// datagrams:
+//
+//	request:  GET <domain> <name>
+//	response: HIT <size> | FILLED <size> | NOTFOUND | ERR <msg>
+//
+// HIT means served from this server's cache; FILLED means a miss that
+// was filled from the parent tier (the client still gets the object,
+// later and at backhaul cost).
+
+// FetchResult describes how a content request was served.
+type FetchResult struct {
+	Status string // "HIT", "FILLED", "NOTFOUND", "ERR"
+	Size   int64
+	// RTT is the virtual time the fetch took end to end.
+	RTT time.Duration
+}
+
+// Served reports whether the object was delivered.
+func (f FetchResult) Served() bool { return f.Status == "HIT" || f.Status == "FILLED" }
+
+// Fetch requests (domain, name) from the content server at addr using
+// the given simnet endpoint.
+func Fetch(ep *simnet.Endpoint, addr netip.Addr, domain, name string, timeout time.Duration) (FetchResult, error) {
+	payload := []byte("GET " + domain + " " + name)
+	resp, rtt, err := ep.Exchange(addr, payload, timeout)
+	if err != nil {
+		return FetchResult{RTT: rtt}, fmt.Errorf("fetching %s/%s from %v: %w", domain, name, addr, err)
+	}
+	res := FetchResult{RTT: rtt}
+	fields := strings.Fields(string(resp))
+	if len(fields) == 0 {
+		return res, fmt.Errorf("fetching %s/%s: empty response", domain, name)
+	}
+	res.Status = fields[0]
+	if len(fields) > 1 {
+		if n, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+			res.Size = n
+		}
+	}
+	return res, nil
+}
+
+// CacheServer is one CDN cache instance bound to a simnet node.
+type CacheServer struct {
+	// Name identifies the server to the router and hash ring.
+	Name string
+	// Site labels the server's physical location (edge site id).
+	Site string
+	// Tier is the server's hierarchy level.
+	Tier Tier
+
+	node   *simnet.Node
+	cache  *LRU
+	parent netip.Addr // next tier (or origin service) for miss fill
+	domain map[string]bool
+
+	// ServeDelay is the per-request processing time; nil means zero.
+	ServeDelay simnet.Sampler
+	// TransferRate in bytes per second; 0 means instantaneous.
+	TransferRate int64
+
+	mu      sync.Mutex
+	healthy bool
+	// recent holds request timestamps inside the load window.
+	recent []time.Duration
+	window time.Duration
+}
+
+// CacheServerConfig configures NewCacheServer.
+type CacheServerConfig struct {
+	Name          string
+	Site          string
+	Tier          Tier
+	CapacityBytes int64
+	// Parent is the address misses are filled from. Unset (zero
+	// Addr) makes misses NOTFOUND — a leaf with no upstream.
+	Parent netip.Addr
+	// Domains this server is willing to serve.
+	Domains []string
+	// ServeDelay samples per-request processing time.
+	ServeDelay simnet.Sampler
+	// TransferRate, when non-zero, models serialization delay: a
+	// served object of S bytes adds S/TransferRate seconds to the
+	// response (bytes per second).
+	TransferRate int64
+	// LoadWindow is the sliding window for load accounting; zero
+	// means 1s.
+	LoadWindow time.Duration
+}
+
+// NewCacheServer creates a cache server and installs its handler on
+// node.
+func NewCacheServer(node *simnet.Node, cfg CacheServerConfig) *CacheServer {
+	s := &CacheServer{
+		Name:         cfg.Name,
+		Site:         cfg.Site,
+		Tier:         cfg.Tier,
+		node:         node,
+		cache:        NewLRU(cfg.CapacityBytes),
+		parent:       cfg.Parent,
+		domain:       make(map[string]bool, len(cfg.Domains)),
+		ServeDelay:   cfg.ServeDelay,
+		TransferRate: cfg.TransferRate,
+		healthy:      true,
+		window:       cfg.LoadWindow,
+	}
+	if s.Name == "" {
+		s.Name = node.Name
+	}
+	if s.window <= 0 {
+		s.window = time.Second
+	}
+	for _, d := range cfg.Domains {
+		s.domain[canonicalDomain(d)] = true
+	}
+	node.SetHandler(simnet.HandlerFunc(s.handle))
+	return s
+}
+
+func canonicalDomain(d string) string {
+	d = strings.ToLower(d)
+	if !strings.HasSuffix(d, ".") {
+		d += "."
+	}
+	return d
+}
+
+// Addr returns the server's network address.
+func (s *CacheServer) Addr() netip.Addr { return s.node.Addr }
+
+// Cache exposes the underlying LRU for stats and warm-up.
+func (s *CacheServer) Cache() *LRU { return s.cache }
+
+// Healthy reports the server's health flag.
+func (s *CacheServer) Healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.healthy
+}
+
+// SetHealthy flips the health flag (failure injection).
+func (s *CacheServer) SetHealthy(up bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.healthy = up
+}
+
+// Load returns the number of requests inside the sliding window.
+func (s *CacheServer) Load() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prune(s.node.Network().Now())
+	return len(s.recent)
+}
+
+func (s *CacheServer) prune(now time.Duration) {
+	cut := 0
+	for cut < len(s.recent) && now-s.recent[cut] > s.window {
+		cut++
+	}
+	s.recent = s.recent[cut:]
+}
+
+// Warm preloads content into the server's cache (the orchestrator's
+// pre-positioning step when a MEC-CDN instance deploys).
+func (s *CacheServer) Warm(contents ...Content) {
+	for _, c := range contents {
+		s.cache.Put(c)
+	}
+}
+
+func (s *CacheServer) handle(ctx *simnet.Ctx, dg simnet.Datagram) {
+	fields := strings.Fields(string(dg.Payload))
+	replySized := func(msg string, size int64) {
+		var delay time.Duration
+		if s.ServeDelay != nil {
+			delay = s.ServeDelay.Sample(ctx.Network().Rand())
+		}
+		if s.TransferRate > 0 && size > 0 {
+			delay += time.Duration(size * int64(time.Second) / s.TransferRate)
+		}
+		ctx.Reply([]byte(msg), delay)
+	}
+	reply := func(msg string) { replySized(msg, 0) }
+	if len(fields) != 3 || fields[0] != "GET" {
+		reply("ERR bad-request")
+		return
+	}
+	domain, name := canonicalDomain(fields[1]), fields[2]
+
+	s.mu.Lock()
+	now := ctx.Now()
+	s.recent = append(s.recent, now)
+	s.prune(now)
+	healthy := s.healthy
+	serves := len(s.domain) == 0 || s.domain[domain]
+	s.mu.Unlock()
+
+	if !healthy || !serves {
+		reply("ERR unavailable")
+		return
+	}
+	if obj, ok := s.cache.Get(name); ok {
+		replySized(fmt.Sprintf("HIT %d", obj.Size), obj.Size)
+		return
+	}
+	if !s.parent.IsValid() {
+		reply("NOTFOUND")
+		return
+	}
+	// Miss: fill from the parent tier in virtual time.
+	res, err := Fetch(s.node.Endpoint(), s.parent, domain, name, 5*time.Second)
+	if err != nil || !res.Served() {
+		reply("NOTFOUND")
+		return
+	}
+	s.cache.Put(Content{Name: name, Size: res.Size})
+	replySized(fmt.Sprintf("FILLED %d", res.Size), res.Size)
+}
+
+// OriginServer exposes an Origin store as a simnet content service.
+type OriginServer struct {
+	origin *Origin
+	node   *simnet.Node
+	// ServeDelay samples per-request origin processing time.
+	ServeDelay simnet.Sampler
+}
+
+// NewOriginServer installs origin on node.
+func NewOriginServer(node *simnet.Node, origin *Origin, serveDelay simnet.Sampler) *OriginServer {
+	s := &OriginServer{origin: origin, node: node, ServeDelay: serveDelay}
+	node.SetHandler(simnet.HandlerFunc(s.handle))
+	return s
+}
+
+// Addr returns the origin service address.
+func (s *OriginServer) Addr() netip.Addr { return s.node.Addr }
+
+func (s *OriginServer) handle(ctx *simnet.Ctx, dg simnet.Datagram) {
+	fields := strings.Fields(string(dg.Payload))
+	reply := func(msg string) {
+		var delay time.Duration
+		if s.ServeDelay != nil {
+			delay = s.ServeDelay.Sample(ctx.Network().Rand())
+		}
+		ctx.Reply([]byte(msg), delay)
+	}
+	if len(fields) != 3 || fields[0] != "GET" {
+		reply("ERR bad-request")
+		return
+	}
+	obj, ok := s.origin.Fetch(canonicalDomain(fields[1]), fields[2])
+	if !ok {
+		reply("NOTFOUND")
+		return
+	}
+	reply(fmt.Sprintf("HIT %d", obj.Size))
+}

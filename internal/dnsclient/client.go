@@ -1,0 +1,192 @@
+// Package dnsclient implements a DNS stub-resolver client: query
+// construction, UDP exchange with retransmission, truncation-triggered
+// TCP fallback, and response sanity checking.
+//
+// The client is transport-agnostic. NetTransport speaks real UDP and
+// TCP sockets; SimTransport runs the same exchanges inside a simnet
+// virtual network, which is how every experiment in this repository
+// executes.
+package dnsclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/dnswire"
+)
+
+// Errors returned by Client.Do.
+var (
+	ErrIDMismatch       = errors.New("dnsclient: response ID does not match query")
+	ErrQuestionMismatch = errors.New("dnsclient: response question does not match query")
+	ErrAllAttemptsFail  = errors.New("dnsclient: all attempts failed")
+)
+
+// Transport moves one packed DNS message to a server and returns the
+// packed response. Implementations decide what the tcp flag means;
+// for NetTransport it selects the socket type, for SimTransport it is
+// ignored (the virtual network has no 512-byte limit).
+type Transport interface {
+	Exchange(ctx context.Context, server netip.AddrPort, query []byte, tcp bool) ([]byte, error)
+}
+
+// Client performs DNS exchanges with retries and TCP fallback.
+// The zero value is not usable; populate Transport first.
+type Client struct {
+	Transport Transport
+	// Timeout bounds each individual attempt. Zero means 5s.
+	Timeout time.Duration
+	// Retries is the number of additional UDP attempts after the
+	// first one fails or times out.
+	Retries int
+	// UDPSize, when non-zero, attaches an EDNS(0) OPT advertising
+	// this payload size to queries that lack one.
+	UDPSize uint16
+	// DisableTCPFallback leaves truncated responses as-is instead of
+	// retrying over TCP.
+	DisableTCPFallback bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// SetRand installs a deterministic RNG for query ID generation; tests
+// and simulations use this so runs replay exactly.
+func (c *Client) SetRand(rng *rand.Rand) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rng = rng
+}
+
+func (c *Client) newID() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return uint16(c.rng.Intn(1 << 16))
+}
+
+// Query is a convenience wrapper building a recursion-desired question
+// for (name, t) and calling Do.
+func (c *Client) Query(ctx context.Context, server netip.AddrPort, name string, t dnswire.Type) (*dnswire.Message, error) {
+	q := new(dnswire.Message)
+	q.SetQuestion(name, t)
+	return c.Do(ctx, server, q)
+}
+
+// Do sends q to server and returns the validated response. The query's
+// ID is assigned by the client. Truncated UDP responses are retried
+// over TCP unless DisableTCPFallback is set.
+func (c *Client) Do(ctx context.Context, server netip.AddrPort, q *dnswire.Message) (*dnswire.Message, error) {
+	if c.Transport == nil {
+		return nil, errors.New("dnsclient: no transport configured")
+	}
+	q.ID = c.newID()
+	if c.UDPSize > 0 {
+		if _, ok := q.OPT(); !ok {
+			q.SetEDNS(c.UDPSize)
+		}
+	}
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, fmt.Errorf("packing query for %q: %w", q.Question().Name, err)
+	}
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		attemptCtx, cancel := context.WithTimeout(ctx, timeout)
+		resp, err := c.exchangeOnce(attemptCtx, server, wire, q, false)
+		cancel()
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, fmt.Errorf("%w: query %s %s to %v: %v",
+		ErrAllAttemptsFail, q.Question().Name, q.Question().Type, server, lastErr)
+}
+
+// Transfer performs a zone transfer (AXFR) over the stream transport
+// and returns the zone's records in transfer order (SOA first and
+// last). The server may refuse (ACL, unknown zone); that surfaces as
+// a response with RcodeRefused and no records.
+func (c *Client) Transfer(ctx context.Context, server netip.AddrPort, zone string) ([]dnswire.RR, error) {
+	if c.Transport == nil {
+		return nil, errors.New("dnsclient: no transport configured")
+	}
+	q := new(dnswire.Message)
+	q.SetQuestion(zone, dnswire.TypeAXFR)
+	q.RecursionDesired = false
+	q.ID = c.newID()
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	attemptCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	resp, err := c.exchangeOnce(attemptCtx, server, wire, q, true)
+	if err != nil {
+		return nil, fmt.Errorf("transferring %s from %v: %w", zone, server, err)
+	}
+	if resp.Rcode != dnswire.RcodeSuccess {
+		return nil, fmt.Errorf("transferring %s from %v: %s", zone, server, resp.Rcode)
+	}
+	return resp.Answers, nil
+}
+
+func (c *Client) exchangeOnce(ctx context.Context, server netip.AddrPort, wire []byte, q *dnswire.Message, tcp bool) (*dnswire.Message, error) {
+	raw, err := c.Transport.Exchange(ctx, server, wire, tcp)
+	if err != nil {
+		return nil, err
+	}
+	resp := new(dnswire.Message)
+	if err := resp.Unpack(raw); err != nil {
+		return nil, fmt.Errorf("unpacking response: %w", err)
+	}
+	if err := validate(q, resp); err != nil {
+		return nil, err
+	}
+	if resp.Truncated && !tcp && !c.DisableTCPFallback {
+		return c.exchangeOnce(ctx, server, wire, q, true)
+	}
+	return resp, nil
+}
+
+// validate applies the anti-spoofing sanity checks of RFC 5452 §9 that
+// a stub can perform: matching ID and question.
+func validate(q, resp *dnswire.Message) error {
+	if resp.ID != q.ID {
+		return ErrIDMismatch
+	}
+	if !resp.Response {
+		return errors.New("dnsclient: response flag not set")
+	}
+	if len(q.Questions) > 0 {
+		if len(resp.Questions) == 0 {
+			return ErrQuestionMismatch
+		}
+		qq, rq := q.Questions[0], resp.Questions[0]
+		if dnswire.CanonicalName(qq.Name) != dnswire.CanonicalName(rq.Name) ||
+			qq.Type != rq.Type || qq.Class != rq.Class {
+			return ErrQuestionMismatch
+		}
+	}
+	return nil
+}

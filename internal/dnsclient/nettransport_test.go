@@ -1,0 +1,82 @@
+package dnsclient_test
+
+// Real-socket transport tests live in an external test package so the
+// client package can be exercised against the server package without
+// an import cycle.
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/dnsclient"
+	"github.com/meccdn/meccdn/internal/dnsserver"
+	"github.com/meccdn/meccdn/internal/dnswire"
+)
+
+func startRealServer(t *testing.T) netip.AddrPort {
+	t.Helper()
+	zone := dnsserver.NewZone("real.test.")
+	if err := zone.AddA("www.real.test.", 60, netip.MustParseAddr("192.0.2.31")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		if err := zone.AddA("big.real.test.", 60,
+			netip.AddrFrom4([4]byte{10, 9, byte(i >> 8), byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := &dnsserver.Server{Addr: "127.0.0.1:0", Handler: dnsserver.Chain(dnsserver.NewZonePlugin(zone))}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.LocalAddr()
+}
+
+func TestNetTransportUDP(t *testing.T) {
+	addr := startRealServer(t)
+	c := &dnsclient.Client{Transport: &dnsclient.NetTransport{}, Timeout: 2 * time.Second}
+	resp, err := c.Query(context.Background(), addr, "www.real.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Errorf("answers = %d", len(resp.Answers))
+	}
+}
+
+func TestNetTransportTCPFallback(t *testing.T) {
+	addr := startRealServer(t)
+	c := &dnsclient.Client{Transport: &dnsclient.NetTransport{}, Timeout: 2 * time.Second}
+	// 80 A records exceed 512 bytes: UDP truncates, TCP recovers.
+	resp, err := c.Query(context.Background(), addr, "big.real.test.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated || len(resp.Answers) != 80 {
+		t.Errorf("tc=%v answers=%d", resp.Truncated, len(resp.Answers))
+	}
+}
+
+func TestNetTransportTimeout(t *testing.T) {
+	// 192.0.2.0/24 is TEST-NET: nothing answers. Use a very short
+	// deadline so the test is quick either way.
+	c := &dnsclient.Client{Transport: &dnsclient.NetTransport{}, Timeout: 50 * time.Millisecond}
+	_, err := c.Query(context.Background(),
+		netip.MustParseAddrPort("127.0.0.1:1"), "x.test.", dnswire.TypeA)
+	if err == nil {
+		t.Fatal("query to closed port succeeded")
+	}
+}
+
+func TestNetTransportContextCancel(t *testing.T) {
+	addr := startRealServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &dnsclient.Client{Transport: &dnsclient.NetTransport{}, Timeout: 2 * time.Second}
+	if _, err := c.Query(ctx, addr, "www.real.test.", dnswire.TypeA); err == nil {
+		t.Fatal("cancelled query succeeded")
+	}
+}

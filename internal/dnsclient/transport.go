@@ -1,0 +1,83 @@
+package dnsclient
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/simnet"
+)
+
+// NetTransport exchanges DNS messages over real UDP and TCP sockets.
+// The zero value is ready to use.
+type NetTransport struct {
+	// Dialer, if non-nil, overrides the default dialer (useful for
+	// binding to a source address).
+	Dialer *net.Dialer
+}
+
+// Exchange implements Transport.
+func (t *NetTransport) Exchange(ctx context.Context, server netip.AddrPort, query []byte, tcp bool) ([]byte, error) {
+	d := t.Dialer
+	if d == nil {
+		d = &net.Dialer{}
+	}
+	network := "udp"
+	if tcp {
+		network = "tcp"
+	}
+	conn, err := d.DialContext(ctx, network, server.String())
+	if err != nil {
+		return nil, fmt.Errorf("dialing %s %v: %w", network, server, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, err
+		}
+	}
+	if tcp {
+		if err := dnswire.WriteTCP(conn, query); err != nil {
+			return nil, err
+		}
+		return dnswire.ReadTCP(conn)
+	}
+	if _, err := conn.Write(query); err != nil {
+		return nil, fmt.Errorf("udp write to %v: %w", server, err)
+	}
+	buf := make([]byte, dnswire.MaxMessageSize)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, fmt.Errorf("udp read from %v: %w", server, err)
+	}
+	return buf[:n], nil
+}
+
+// SimTransport exchanges DNS messages inside a simnet virtual network.
+// Each exchange advances virtual time by the routed path delay plus
+// the server's processing time; real time barely advances at all.
+type SimTransport struct {
+	// Endpoint is the simnet node this client sends from.
+	Endpoint *simnet.Endpoint
+	// Timeout is the virtual-time wait before an exchange is declared
+	// lost. Zero means 2s, comfortably above any simulated RTT.
+	Timeout time.Duration
+}
+
+// Exchange implements Transport. The tcp flag and context deadline are
+// ignored: virtual datagrams are not size-limited and timeouts are
+// virtual-time by construction.
+func (t *SimTransport) Exchange(_ context.Context, server netip.AddrPort, query []byte, _ bool) ([]byte, error) {
+	timeout := t.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	resp, _, err := t.Endpoint.Exchange(server.Addr(), query, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

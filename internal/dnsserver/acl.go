@@ -1,0 +1,107 @@
+package dnsserver
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+
+	"github.com/meccdn/meccdn/internal/dnswire"
+)
+
+// ACL gates queries by source prefix and query domain. The paper
+// notes that exposing the orchestrator's internal DNS "increases the
+// attack surface for the vRAN itself"; Split hides the internal
+// namespace, and ACL closes the remaining gap by refusing queries
+// that should never reach a view at all (e.g. internal-zone names
+// arriving from outside the cluster, or abusive prefixes identified
+// by the ingress monitor).
+type ACL struct {
+	mu sync.RWMutex
+	// allowed prefixes; empty means allow any source.
+	allow []netip.Prefix
+	// denied prefixes; checked before allow.
+	deny []netip.Prefix
+	// blockedDomains refuses matching names regardless of source.
+	blockedDomains []string
+
+	refused uint64
+}
+
+// NewACL returns an ACL that allows everything.
+func NewACL() *ACL { return &ACL{} }
+
+// Allow restricts accepted sources to the given prefixes (cumulative).
+func (a *ACL) Allow(prefix netip.Prefix) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.allow = append(a.allow, prefix)
+}
+
+// Deny refuses queries from the prefix even if an Allow matches.
+func (a *ACL) Deny(prefix netip.Prefix) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.deny = append(a.deny, prefix)
+}
+
+// BlockDomain refuses queries for names at or under domain.
+func (a *ACL) BlockDomain(domain string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.blockedDomains = append(a.blockedDomains, dnswire.CanonicalName(domain))
+}
+
+// Refused reports how many queries the ACL rejected.
+func (a *ACL) Refused() uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.refused
+}
+
+// permitted applies deny → allow → domain rules.
+func (a *ACL) permitted(src netip.Addr, qname string) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for _, p := range a.deny {
+		if p.Contains(src) {
+			return false
+		}
+	}
+	if len(a.allow) > 0 {
+		ok := false
+		for _, p := range a.allow {
+			if p.Contains(src) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, d := range a.blockedDomains {
+		if dnswire.IsSubdomain(d, qname) {
+			return false
+		}
+	}
+	return true
+}
+
+// Name implements Plugin.
+func (a *ACL) Name() string { return "acl" }
+
+// ServeDNS implements Plugin.
+func (a *ACL) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
+	if !a.permitted(r.Client.Addr(), r.Name()) {
+		a.mu.Lock()
+		a.refused++
+		a.mu.Unlock()
+		m := new(dnswire.Message)
+		m.SetRcode(r.Msg, dnswire.RcodeRefused)
+		if err := w.WriteMsg(m); err != nil {
+			return dnswire.RcodeServerFailure, err
+		}
+		return dnswire.RcodeRefused, nil
+	}
+	return next.ServeDNS(ctx, w, r)
+}

@@ -1,0 +1,63 @@
+package dnsserver
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	"github.com/meccdn/meccdn/internal/dnswire"
+)
+
+func aclQuery(h Handler, name, client string) dnswire.Rcode {
+	q := new(dnswire.Message)
+	q.SetQuestion(name, dnswire.TypeA)
+	req := &Request{Msg: q, Client: netip.MustParseAddrPort(client), Transport: "test"}
+	return Resolve(context.Background(), h, req).Rcode
+}
+
+func TestACLAllowsEverythingByDefault(t *testing.T) {
+	h := Chain(NewACL(), pluginize(answerHandler("192.0.2.1")))
+	if rc := aclQuery(h, "x.test.", "203.0.113.5:1000"); rc != dnswire.RcodeSuccess {
+		t.Errorf("rcode = %v", rc)
+	}
+}
+
+func TestACLAllowList(t *testing.T) {
+	acl := NewACL()
+	acl.Allow(netip.MustParsePrefix("10.0.0.0/8"))
+	h := Chain(acl, pluginize(answerHandler("192.0.2.1")))
+	if rc := aclQuery(h, "x.test.", "10.1.2.3:1000"); rc != dnswire.RcodeSuccess {
+		t.Errorf("allowed source refused: %v", rc)
+	}
+	if rc := aclQuery(h, "x.test.", "203.0.113.5:1000"); rc != dnswire.RcodeRefused {
+		t.Errorf("outside source got %v", rc)
+	}
+	if acl.Refused() != 1 {
+		t.Errorf("refused = %d", acl.Refused())
+	}
+}
+
+func TestACLDenyOverridesAllow(t *testing.T) {
+	acl := NewACL()
+	acl.Allow(netip.MustParsePrefix("10.0.0.0/8"))
+	acl.Deny(netip.MustParsePrefix("10.66.0.0/16"))
+	h := Chain(acl, pluginize(answerHandler("192.0.2.1")))
+	if rc := aclQuery(h, "x.test.", "10.66.3.4:1000"); rc != dnswire.RcodeRefused {
+		t.Errorf("denied source got %v", rc)
+	}
+	if rc := aclQuery(h, "x.test.", "10.1.3.4:1000"); rc != dnswire.RcodeSuccess {
+		t.Errorf("allowed source got %v", rc)
+	}
+}
+
+func TestACLBlockedDomain(t *testing.T) {
+	acl := NewACL()
+	acl.BlockDomain("cluster.local.")
+	h := Chain(acl, pluginize(answerHandler("192.0.2.1")))
+	if rc := aclQuery(h, "coredns.kube-system.svc.cluster.local.", "203.0.113.5:1"); rc != dnswire.RcodeRefused {
+		t.Errorf("blocked domain got %v", rc)
+	}
+	if rc := aclQuery(h, "public.example.", "203.0.113.5:1"); rc != dnswire.RcodeSuccess {
+		t.Errorf("unblocked domain got %v", rc)
+	}
+}

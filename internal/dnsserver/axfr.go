@@ -1,0 +1,123 @@
+package dnsserver
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"github.com/meccdn/meccdn/internal/dnswire"
+)
+
+// AXFR serves zone transfers (RFC 5936) for its registered zones, the
+// replication primitive a multi-site MEC deployment uses to slave the
+// public MEC-CDN namespace between edge sites or to the provider's
+// L-DNS. Transfers are restricted to TCP (per the RFC) and to the
+// allowed source prefixes.
+//
+// Small-zone simplification: the full record set is returned in one
+// DNS message (the RFC permits single-message transfers; the MEC
+// public namespace is small by construction). Oversized zones fail
+// packing rather than silently truncating.
+type AXFR struct {
+	zones *ZonePlugin
+	allow []netip.Prefix
+}
+
+// NewAXFR serves transfers of the zones registered with zp.
+func NewAXFR(zp *ZonePlugin, allowFrom ...netip.Prefix) *AXFR {
+	return &AXFR{zones: zp, allow: allowFrom}
+}
+
+// Name implements Plugin.
+func (a *AXFR) Name() string { return "axfr" }
+
+// ServeDNS implements Plugin. Non-AXFR queries fall through.
+func (a *AXFR) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
+	if r.Type() != dnswire.TypeAXFR {
+		return next.ServeDNS(ctx, w, r)
+	}
+	refuse := func() (dnswire.Rcode, error) {
+		m := new(dnswire.Message)
+		m.SetRcode(r.Msg, dnswire.RcodeRefused)
+		if err := w.WriteMsg(m); err != nil {
+			return dnswire.RcodeServerFailure, err
+		}
+		return dnswire.RcodeRefused, nil
+	}
+	if r.Transport == "udp" {
+		return refuse() // transfers require a stream transport
+	}
+	if len(a.allow) > 0 {
+		ok := false
+		for _, p := range a.allow {
+			if p.Contains(r.Client.Addr()) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return refuse()
+		}
+	}
+	zone := a.zones.Zone(r.Name())
+	if zone == nil {
+		return refuse()
+	}
+	m := new(dnswire.Message)
+	m.SetReply(r.Msg)
+	m.Authoritative = true
+	m.Answers = TransferRecords(zone)
+	if err := w.WriteMsg(m); err != nil {
+		return dnswire.RcodeServerFailure, err
+	}
+	return dnswire.RcodeSuccess, nil
+}
+
+// TransferRecords returns the zone's full record set in AXFR order:
+// the SOA first and repeated last, all other records between.
+func TransferRecords(z *Zone) []dnswire.RR {
+	soa := z.SOA()
+	out := []dnswire.RR{soa.Clone()}
+	for _, name := range z.Names() {
+		byType := z.rrs[name]
+		types := make([]int, 0, len(byType))
+		for t := range byType {
+			types = append(types, int(t))
+		}
+		sort.Ints(types)
+		for _, t := range types {
+			if dnswire.Type(t) == dnswire.TypeSOA {
+				continue
+			}
+			for _, rr := range byType[dnswire.Type(t)] {
+				out = append(out, rr.Clone())
+			}
+		}
+	}
+	return append(out, soa.Clone())
+}
+
+// ZoneFromTransfer reconstructs a zone from AXFR answer records. The
+// first record must be the SOA; the trailing SOA is dropped.
+func ZoneFromTransfer(rrs []dnswire.RR) (*Zone, error) {
+	if len(rrs) < 2 {
+		return nil, fmt.Errorf("dnsserver: transfer has %d records, need at least 2", len(rrs))
+	}
+	soa, ok := rrs[0].(*dnswire.SOA)
+	if !ok {
+		return nil, fmt.Errorf("dnsserver: transfer does not start with SOA (got %s)", rrs[0].Header().Type)
+	}
+	last, ok := rrs[len(rrs)-1].(*dnswire.SOA)
+	if !ok || last.Serial != soa.Serial {
+		return nil, fmt.Errorf("dnsserver: transfer does not end with the starting SOA")
+	}
+	z := NewZone(soa.Hdr.Name)
+	z.SetSOA(soa.Clone().(*dnswire.SOA))
+	for _, rr := range rrs[1 : len(rrs)-1] {
+		if err := z.Add(rr.Clone()); err != nil {
+			return nil, fmt.Errorf("dnsserver: transfer record %s: %w", rr.Header().Name, err)
+		}
+	}
+	return z, nil
+}

@@ -1,0 +1,103 @@
+package dnsserver
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/dnsclient"
+	"github.com/meccdn/meccdn/internal/dnswire"
+)
+
+func TestAXFROverRealTCP(t *testing.T) {
+	zone := testZone(t)
+	zp := NewZonePlugin(zone)
+	addr := startTestServer(t, Chain(NewAXFR(zp), zp))
+
+	c := &dnsclient.Client{Transport: &dnsclient.NetTransport{}, Timeout: 2 * time.Second}
+	rrs, err := c.Transfer(context.Background(), addr, "mycdn.ciab.test.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrs) < 4 {
+		t.Fatalf("transferred %d records", len(rrs))
+	}
+	if rrs[0].Header().Type != dnswire.TypeSOA || rrs[len(rrs)-1].Header().Type != dnswire.TypeSOA {
+		t.Error("transfer not SOA-delimited")
+	}
+
+	// Rebuild a secondary zone from the transfer and verify it
+	// answers identically.
+	secondary, err := ZoneFromTransfer(rrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"edge1.mycdn.ciab.test.", "video.demo1.mycdn.ciab.test."} {
+		wantRes, wantAns, _ := zone.Lookup(name, dnswire.TypeA)
+		gotRes, gotAns, _ := secondary.Lookup(name, dnswire.TypeA)
+		if wantRes != gotRes || len(wantAns) != len(gotAns) {
+			t.Errorf("%s: primary (%v, %d) vs secondary (%v, %d)",
+				name, wantRes, len(wantAns), gotRes, len(gotAns))
+		}
+	}
+	if secondary.SOA().Serial != zone.SOA().Serial {
+		t.Error("SOA serial not preserved")
+	}
+}
+
+func TestAXFRRefusedOverUDP(t *testing.T) {
+	zp := NewZonePlugin(testZone(t))
+	h := Chain(NewAXFR(zp), zp)
+	q := new(dnswire.Message)
+	q.SetQuestion("mycdn.ciab.test.", dnswire.TypeAXFR)
+	resp := Resolve(context.Background(), h, &Request{
+		Msg: q, Transport: "udp", Client: netip.MustParseAddrPort("10.0.0.1:5000")})
+	if resp.Rcode != dnswire.RcodeRefused {
+		t.Errorf("UDP AXFR rcode = %v", resp.Rcode)
+	}
+}
+
+func TestAXFRACL(t *testing.T) {
+	zp := NewZonePlugin(testZone(t))
+	axfr := NewAXFR(zp, netip.MustParsePrefix("10.0.0.0/8"))
+	h := Chain(axfr, zp)
+	ask := func(client string) dnswire.Rcode {
+		q := new(dnswire.Message)
+		q.SetQuestion("mycdn.ciab.test.", dnswire.TypeAXFR)
+		return Resolve(context.Background(), h, &Request{
+			Msg: q, Transport: "tcp", Client: netip.MustParseAddrPort(client)}).Rcode
+	}
+	if rc := ask("10.2.3.4:5000"); rc != dnswire.RcodeSuccess {
+		t.Errorf("allowed secondary refused: %v", rc)
+	}
+	if rc := ask("203.0.113.5:5000"); rc != dnswire.RcodeRefused {
+		t.Errorf("outsider got %v", rc)
+	}
+}
+
+func TestAXFRUnknownZoneRefused(t *testing.T) {
+	zp := NewZonePlugin(testZone(t))
+	h := Chain(NewAXFR(zp), zp)
+	q := new(dnswire.Message)
+	q.SetQuestion("unknown.example.", dnswire.TypeAXFR)
+	resp := Resolve(context.Background(), h, &Request{
+		Msg: q, Transport: "tcp", Client: netip.MustParseAddrPort("10.0.0.1:5000")})
+	if resp.Rcode != dnswire.RcodeRefused {
+		t.Errorf("rcode = %v", resp.Rcode)
+	}
+}
+
+func TestZoneFromTransferValidation(t *testing.T) {
+	zone := testZone(t)
+	rrs := TransferRecords(zone)
+	if _, err := ZoneFromTransfer(rrs[:1]); err == nil {
+		t.Error("single-record transfer accepted")
+	}
+	if _, err := ZoneFromTransfer(rrs[1:]); err == nil {
+		t.Error("transfer without leading SOA accepted")
+	}
+	if _, err := ZoneFromTransfer(rrs[:len(rrs)-1]); err == nil {
+		t.Error("transfer without trailing SOA accepted")
+	}
+}

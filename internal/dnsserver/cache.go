@@ -1,0 +1,232 @@
+package dnsserver
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/vclock"
+)
+
+// CacheStats is a snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits, Misses  uint64
+	NegativeHits  uint64
+	Entries       int
+	Evictions     uint64
+	ExpiredServed uint64 // entries found but already expired
+}
+
+// Cache is a TTL-honouring response cache with RFC 2308 negative
+// caching and LRU eviction. Responses are keyed by question and, when
+// the upstream scoped its answer with ECS, by client subnet — which is
+// precisely the cache-fragmentation cost of ECS the paper alludes to.
+type Cache struct {
+	// Clock supplies time; required. Use the simnet clock in
+	// experiments and vclock.NewReal() on live servers.
+	Clock vclock.Clock
+	// MaxEntries bounds the cache; 0 means 4096.
+	MaxEntries int
+	// MinTTL/MaxTTL clamp stored lifetimes. Zero MaxTTL means 1h.
+	MinTTL, MaxTTL time.Duration
+
+	mu    sync.Mutex
+	items map[string]*list.Element
+	lru   *list.List
+	stats CacheStats
+}
+
+type cacheEntry struct {
+	key     string
+	msg     *dnswire.Message
+	stored  time.Duration
+	expires time.Duration
+}
+
+// NewCache returns a cache using clock.
+func NewCache(clock vclock.Clock) *Cache {
+	return &Cache{
+		Clock: clock,
+		items: make(map[string]*list.Element),
+		lru:   list.New(),
+	}
+}
+
+// Name implements Plugin.
+func (c *Cache) Name() string { return "cache" }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	return s
+}
+
+// Flush drops every entry.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = make(map[string]*list.Element)
+	c.lru.Init()
+}
+
+func cacheKey(r *Request) string {
+	key := r.Name() + "|" + r.Type().String()
+	if ecs, ok := r.Msg.ECS(); ok {
+		key += "|" + ecs.Prefix().String()
+	}
+	return key
+}
+
+// ServeDNS implements Plugin.
+func (c *Cache) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
+	key := cacheKey(r)
+	if msg, ok := c.lookup(key); ok {
+		msg.ID = r.Msg.ID
+		if err := w.WriteMsg(msg); err != nil {
+			return dnswire.RcodeServerFailure, err
+		}
+		return msg.Rcode, nil
+	}
+
+	rec := &recorder{w: nil}
+	rcode, err := next.ServeDNS(ctx, rec, r)
+	if err != nil || !rec.written {
+		if rec.written {
+			_ = w.WriteMsg(rec.msg)
+		}
+		return rcode, err
+	}
+	c.store(key, rec.msg)
+	if err := w.WriteMsg(rec.msg); err != nil {
+		return dnswire.RcodeServerFailure, err
+	}
+	return rec.msg.Rcode, nil
+}
+
+// lookup returns a TTL-adjusted clone on hit.
+func (c *Cache) lookup(key string) (*dnswire.Message, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	now := c.Clock.Now()
+	if now >= ent.expires {
+		c.lru.Remove(el)
+		delete(c.items, key)
+		c.stats.Misses++
+		c.stats.ExpiredServed++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	if ent.msg.Rcode != dnswire.RcodeSuccess || len(ent.msg.Answers) == 0 {
+		c.stats.NegativeHits++
+	}
+	msg := ent.msg.Clone()
+	// Age the TTLs by the time spent in cache.
+	aged := uint32((now - ent.stored) / time.Second)
+	for _, section := range [][]dnswire.RR{msg.Answers, msg.Authorities, msg.Additionals} {
+		for _, rr := range section {
+			if rr.Header().Type == dnswire.TypeOPT {
+				continue
+			}
+			if rr.Header().TTL > aged {
+				rr.Header().TTL -= aged
+			} else {
+				rr.Header().TTL = 0
+			}
+		}
+	}
+	return msg, true
+}
+
+// store caches msg under key for its effective TTL.
+func (c *Cache) store(key string, msg *dnswire.Message) {
+	ttl := effectiveTTL(msg)
+	if ttl <= 0 {
+		return
+	}
+	if c.MinTTL > 0 && ttl < c.MinTTL {
+		ttl = c.MinTTL
+	}
+	maxTTL := c.MaxTTL
+	if maxTTL <= 0 {
+		maxTTL = time.Hour
+	}
+	if ttl > maxTTL {
+		ttl = maxTTL
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.items == nil {
+		c.items = make(map[string]*list.Element)
+		c.lru = list.New()
+	}
+	now := c.Clock.Now()
+	ent := &cacheEntry{key: key, msg: msg.Clone(), stored: now, expires: now + ttl}
+	if el, ok := c.items[key]; ok {
+		el.Value = ent
+		c.lru.MoveToFront(el)
+		return
+	}
+	max := c.MaxEntries
+	if max <= 0 {
+		max = 4096
+	}
+	for c.lru.Len() >= max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+	c.items[key] = c.lru.PushFront(ent)
+}
+
+// effectiveTTL derives the cacheable lifetime of a response: the
+// minimum answer TTL for positive answers, or the SOA MinTTL rule of
+// RFC 2308 for negative ones. Server failures are not cached.
+func effectiveTTL(msg *dnswire.Message) time.Duration {
+	switch msg.Rcode {
+	case dnswire.RcodeSuccess, dnswire.RcodeNameError:
+	default:
+		return 0
+	}
+	if len(msg.Answers) > 0 {
+		min := uint32(1<<32 - 1)
+		for _, rr := range msg.Answers {
+			if rr.Header().Type == dnswire.TypeOPT {
+				continue
+			}
+			if rr.Header().TTL < min {
+				min = rr.Header().TTL
+			}
+		}
+		return time.Duration(min) * time.Second
+	}
+	for _, rr := range msg.Authorities {
+		if soa, ok := rr.(*dnswire.SOA); ok {
+			ttl := soa.Hdr.TTL
+			if soa.MinTTL < ttl {
+				ttl = soa.MinTTL
+			}
+			return time.Duration(ttl) * time.Second
+		}
+	}
+	return 0
+}
+
+// String summarizes the cache for debugging.
+func (c *Cache) String() string {
+	s := c.Stats()
+	return fmt.Sprintf("cache{entries=%d hits=%d misses=%d}", s.Entries, s.Hits, s.Misses)
+}

@@ -1,0 +1,109 @@
+package dnsserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"github.com/meccdn/meccdn/internal/dnsclient"
+	"github.com/meccdn/meccdn/internal/dnswire"
+)
+
+// Forward sends queries to one or more upstream resolvers, trying
+// each in order until one answers. It is the "forward ." of the
+// provider L-DNS and the upstream leg of the MEC DNS fallback path.
+type Forward struct {
+	// Upstreams are tried in order.
+	Upstreams []netip.AddrPort
+	// Client performs the exchanges; required.
+	Client *dnsclient.Client
+	// Match, when non-empty, limits forwarding to names under this
+	// domain; others fall through to the next plugin.
+	Match string
+}
+
+// Name implements Plugin.
+func (f *Forward) Name() string { return "forward" }
+
+// ServeDNS implements Plugin.
+func (f *Forward) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
+	if f.Match != "" && !dnswire.IsSubdomain(f.Match, r.Name()) {
+		return next.ServeDNS(ctx, w, r)
+	}
+	if f.Client == nil {
+		return dnswire.RcodeServerFailure, errors.New("dnsserver: forward has no client")
+	}
+	var lastErr error
+	for _, up := range f.Upstreams {
+		resp, err := f.Client.Do(ctx, up, r.Msg.Clone())
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp.ID = r.Msg.ID
+		if err := w.WriteMsg(resp); err != nil {
+			return dnswire.RcodeServerFailure, err
+		}
+		return resp.Rcode, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no upstreams configured")
+	}
+	return dnswire.RcodeServerFailure, fmt.Errorf("forwarding %s: %w", r.Name(), lastErr)
+}
+
+// Stub routes queries for specific sub-domains to dedicated upstream
+// servers, the CoreDNS stub-domain mechanism the paper's prototype
+// uses to hand the CDN domain from the MEC L-DNS (CoreDNS) to the
+// collocated C-DNS (the ATC Traffic Router):
+//
+//	stub := NewStub()
+//	stub.Route("mycdn.ciab.test.", cdnsAddr)
+type Stub struct {
+	routes map[string][]netip.AddrPort
+	// Client performs the exchanges; required.
+	Client *dnsclient.Client
+}
+
+// NewStub returns an empty stub-domain router.
+func NewStub(client *dnsclient.Client) *Stub {
+	return &Stub{routes: make(map[string][]netip.AddrPort), Client: client}
+}
+
+// Route directs queries under domain to the given upstreams.
+func (s *Stub) Route(domain string, upstreams ...netip.AddrPort) {
+	s.routes[dnswire.CanonicalName(domain)] = upstreams
+}
+
+// Unroute removes a stub domain.
+func (s *Stub) Unroute(domain string) {
+	delete(s.routes, dnswire.CanonicalName(domain))
+}
+
+// Name implements Plugin.
+func (s *Stub) Name() string { return "stub" }
+
+// match returns the upstreams for the longest matching stub domain.
+func (s *Stub) match(qname string) []netip.AddrPort {
+	var bestDomain string
+	var best []netip.AddrPort
+	for domain, ups := range s.routes {
+		if dnswire.IsSubdomain(domain, qname) {
+			if best == nil || dnswire.CountLabels(domain) > dnswire.CountLabels(bestDomain) {
+				bestDomain, best = domain, ups
+			}
+		}
+	}
+	return best
+}
+
+// ServeDNS implements Plugin.
+func (s *Stub) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
+	ups := s.match(r.Name())
+	if ups == nil {
+		return next.ServeDNS(ctx, w, r)
+	}
+	fwd := &Forward{Upstreams: ups, Client: s.Client}
+	return fwd.ServeDNS(ctx, w, r, next)
+}

@@ -1,0 +1,138 @@
+package dnsserver
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/vclock"
+)
+
+// LoadShed implements the paper's DoS-mitigation policy: the MEC
+// orchestrator monitors ingress load at the MEC DNS and, above a
+// threshold, switches answering to the provider's L-DNS path (or
+// refuses outright), so best-effort MEC resolution never becomes an
+// attack amplifier on the vRAN.
+type LoadShed struct {
+	// Clock supplies time; required.
+	Clock vclock.Clock
+	// Window is the measurement window. Zero means 1s.
+	Window time.Duration
+	// MaxQueries is the number of queries tolerated per window before
+	// shedding starts. Zero disables shedding.
+	MaxQueries int
+	// Fallback, when non-nil, handles shed queries (e.g. a Forward to
+	// the provider L-DNS). When nil, shed queries are REFUSED.
+	Fallback Handler
+
+	mu     sync.Mutex
+	start  time.Duration
+	count  int
+	shed   uint64
+	served uint64
+}
+
+// Name implements Plugin.
+func (l *LoadShed) Name() string { return "loadshed" }
+
+// Shed returns how many queries were diverted or refused, and how many
+// passed through.
+func (l *LoadShed) Shed() (shed, served uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.shed, l.served
+}
+
+// overloaded records one arrival and reports whether it exceeds the
+// window budget.
+func (l *LoadShed) overloaded() bool {
+	if l.MaxQueries <= 0 {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	window := l.Window
+	if window <= 0 {
+		window = time.Second
+	}
+	now := l.Clock.Now()
+	if now-l.start >= window {
+		l.start = now
+		l.count = 0
+	}
+	l.count++
+	if l.count > l.MaxQueries {
+		l.shed++
+		return true
+	}
+	l.served++
+	return false
+}
+
+// ServeDNS implements Plugin.
+func (l *LoadShed) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
+	if l.overloaded() {
+		if l.Fallback != nil {
+			return l.Fallback.ServeDNS(ctx, w, r)
+		}
+		m := new(dnswire.Message)
+		m.SetRcode(r.Msg, dnswire.RcodeRefused)
+		if err := w.WriteMsg(m); err != nil {
+			return dnswire.RcodeServerFailure, err
+		}
+		return dnswire.RcodeRefused, nil
+	}
+	return next.ServeDNS(ctx, w, r)
+}
+
+// Metrics counts queries by type and response code.
+type Metrics struct {
+	mu      sync.Mutex
+	total   uint64
+	byType  map[dnswire.Type]uint64
+	byRcode map[dnswire.Rcode]uint64
+}
+
+// NewMetrics returns an empty counter set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		byType:  make(map[dnswire.Type]uint64),
+		byRcode: make(map[dnswire.Rcode]uint64),
+	}
+}
+
+// Name implements Plugin.
+func (m *Metrics) Name() string { return "metrics" }
+
+// ServeDNS implements Plugin.
+func (m *Metrics) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
+	rcode, err := next.ServeDNS(ctx, w, r)
+	m.mu.Lock()
+	m.total++
+	m.byType[r.Type()]++
+	m.byRcode[rcode]++
+	m.mu.Unlock()
+	return rcode, err
+}
+
+// Total returns the number of queries observed.
+func (m *Metrics) Total() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// CountByRcode returns the count for one response code.
+func (m *Metrics) CountByRcode(rc dnswire.Rcode) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byRcode[rc]
+}
+
+// CountByType returns the count for one query type.
+func (m *Metrics) CountByType(t dnswire.Type) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byType[t]
+}

@@ -1,0 +1,284 @@
+// Package dnsserver is a composable DNS server engine modeled on the
+// CoreDNS plugin architecture the paper's prototype builds on.
+//
+// A server is a chain of plugins; each plugin either answers the
+// query, rewrites it, or passes it to the next plugin. The same chain
+// runs over real UDP/TCP sockets (Server) and inside a simnet virtual
+// network (Attach), so the code path that answers a query in an
+// experiment is byte-for-byte the one a real deployment would run.
+//
+// Plugins provided here mirror the pieces of the paper's MEC DNS:
+//
+//   - Zone: authoritative answers from in-memory zones (the
+//     orchestrator's service registry, A-DNS emulation, C-DNS glue)
+//   - Cache: TTL-honouring response cache with negative caching
+//   - Forward: upstream forwarding with failover (provider L-DNS)
+//   - Stub: sub-domain delegation to an upstream (CoreDNS
+//     stub-domain, used to hand the CDN domain to the C-DNS)
+//   - Split: split-horizon namespaces (internal VNF vs public MEC-CDN)
+//   - ECS: EDNS Client Subnet attachment and scrubbing (RFC 7871)
+//   - LoadShed: ingress-load threshold switching (DoS mitigation)
+//   - Metrics: query/rcode/hit counters
+package dnsserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/dnswire"
+)
+
+// Request carries one inbound query and its connection metadata.
+type Request struct {
+	Msg *dnswire.Message
+	// Client is the query's source address as seen by this server.
+	// Behind a cellular gateway this is the P-GW's public address,
+	// not the UE's — exactly the obfuscation the paper discusses.
+	Client netip.AddrPort
+	// Transport is "udp", "tcp", or "sim".
+	Transport string
+}
+
+// Name returns the canonicalized first question name.
+func (r *Request) Name() string { return dnswire.CanonicalName(r.Msg.Question().Name) }
+
+// Type returns the first question type.
+func (r *Request) Type() dnswire.Type { return r.Msg.Question().Type }
+
+// ResponseWriter sends the response for one request.
+type ResponseWriter interface {
+	WriteMsg(*dnswire.Message) error
+}
+
+// Handler answers DNS requests. If no response was written, the
+// returned rcode is synthesized into one by the server; a non-nil
+// error produces SERVFAIL.
+type Handler interface {
+	ServeDNS(ctx context.Context, w ResponseWriter, r *Request) (dnswire.Rcode, error)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(ctx context.Context, w ResponseWriter, r *Request) (dnswire.Rcode, error)
+
+// ServeDNS implements Handler.
+func (f HandlerFunc) ServeDNS(ctx context.Context, w ResponseWriter, r *Request) (dnswire.Rcode, error) {
+	return f(ctx, w, r)
+}
+
+// Plugin is one link of a server chain.
+type Plugin interface {
+	// Name identifies the plugin in metrics and errors.
+	Name() string
+	// ServeDNS handles the request or delegates to next.
+	ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error)
+}
+
+// Chain composes plugins into a Handler. The final fallthrough
+// REFUSES the query, the behaviour of a server with no matching zone.
+func Chain(plugins ...Plugin) Handler {
+	h := Handler(HandlerFunc(func(ctx context.Context, w ResponseWriter, r *Request) (dnswire.Rcode, error) {
+		return dnswire.RcodeRefused, nil
+	}))
+	for i := len(plugins) - 1; i >= 0; i-- {
+		p, next := plugins[i], h
+		h = HandlerFunc(func(ctx context.Context, w ResponseWriter, r *Request) (dnswire.Rcode, error) {
+			return p.ServeDNS(ctx, w, r, next)
+		})
+	}
+	return h
+}
+
+// recorder wraps a ResponseWriter and notes whether a response was
+// written, so the engine can synthesize one if not.
+type recorder struct {
+	w       ResponseWriter
+	written bool
+	msg     *dnswire.Message
+}
+
+// WriteMsg implements ResponseWriter. Only the first write is passed
+// through; later writes from confused plugins are dropped.
+func (rec *recorder) WriteMsg(m *dnswire.Message) error {
+	if rec.written {
+		return nil
+	}
+	rec.written = true
+	rec.msg = m
+	if rec.w == nil {
+		return nil
+	}
+	return rec.w.WriteMsg(m)
+}
+
+// Resolve runs handler h to completion for req and returns the
+// response message, synthesizing an empty response with the handler's
+// rcode (or SERVFAIL on error) when no plugin answered. It is the
+// engine shared by the socket server, the simnet adapter, and tests.
+func Resolve(ctx context.Context, h Handler, req *Request) *dnswire.Message {
+	rec := &recorder{}
+	rcode, err := h.ServeDNS(ctx, rec, req)
+	if rec.written {
+		return rec.msg
+	}
+	m := new(dnswire.Message)
+	if err != nil {
+		m.SetRcode(req.Msg, dnswire.RcodeServerFailure)
+		return m
+	}
+	m.SetRcode(req.Msg, rcode)
+	return m
+}
+
+// Server serves a Handler over real UDP and TCP sockets.
+type Server struct {
+	// Addr is the listen address, e.g. "127.0.0.1:5353".
+	Addr string
+	// Handler answers the queries.
+	Handler Handler
+	// ReadTimeout bounds TCP reads. Zero means 10s.
+	ReadTimeout time.Duration
+
+	mu      sync.Mutex
+	udp     *net.UDPConn
+	tcp     net.Listener
+	started bool
+	wg      sync.WaitGroup
+}
+
+// Start begins serving on UDP and TCP. It returns once the sockets
+// are bound; serving continues in background goroutines until Close.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("dnsserver: already started")
+	}
+	if s.Handler == nil {
+		return errors.New("dnsserver: nil handler")
+	}
+	uaddr, err := net.ResolveUDPAddr("udp", s.Addr)
+	if err != nil {
+		return fmt.Errorf("resolving %q: %w", s.Addr, err)
+	}
+	s.udp, err = net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return fmt.Errorf("listening udp %q: %w", s.Addr, err)
+	}
+	// Bind TCP to whatever port UDP got (supports ":0").
+	s.tcp, err = net.Listen("tcp", s.udp.LocalAddr().String())
+	if err != nil {
+		s.udp.Close()
+		return fmt.Errorf("listening tcp: %w", err)
+	}
+	s.started = true
+	s.wg.Add(2)
+	go s.serveUDP()
+	go s.serveTCP()
+	return nil
+}
+
+// LocalAddr returns the bound UDP address; valid after Start.
+func (s *Server) LocalAddr() netip.AddrPort {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.udp == nil {
+		return netip.AddrPort{}
+	}
+	return s.udp.LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+// Close stops serving and waits for the serve loops to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return nil
+	}
+	s.udp.Close()
+	s.tcp.Close()
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, dnswire.MaxMessageSize)
+	for {
+		n, raddr, err := s.udp.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			return // closed
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		go s.handlePacket(pkt, raddr)
+	}
+}
+
+func (s *Server) handlePacket(pkt []byte, raddr netip.AddrPort) {
+	msg := new(dnswire.Message)
+	if err := msg.Unpack(pkt); err != nil {
+		return // not DNS; drop like a real server
+	}
+	req := &Request{Msg: msg, Client: raddr, Transport: "udp"}
+	resp := Resolve(context.Background(), s.Handler, req)
+
+	// Honour the client's advertised payload size.
+	size := dnswire.MaxUDPSize
+	if opt, ok := msg.OPT(); ok {
+		if adv := int(opt.UDPSize()); adv > size {
+			size = adv
+		}
+	}
+	resp.TruncateTo(size)
+	wire, err := resp.Pack()
+	if err != nil {
+		return
+	}
+	_, _ = s.udp.WriteToUDPAddrPort(wire, raddr)
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			return // closed
+		}
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	timeout := s.ReadTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	raddr, _ := netip.ParseAddrPort(conn.RemoteAddr().String())
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(timeout))
+		pkt, err := dnswire.ReadTCP(conn)
+		if err != nil {
+			return
+		}
+		msg := new(dnswire.Message)
+		if err := msg.Unpack(pkt); err != nil {
+			return
+		}
+		req := &Request{Msg: msg, Client: raddr, Transport: "tcp"}
+		resp := Resolve(context.Background(), s.Handler, req)
+		wire, err := resp.Pack()
+		if err != nil {
+			return
+		}
+		if err := dnswire.WriteTCP(conn, wire); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,477 @@
+package dnsserver
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/meccdn/meccdn/internal/dnswire"
+)
+
+// Zone is an in-memory authoritative zone. It supports exact matches,
+// CNAME indirection, wildcard owners ("*.<name>"), delegations via NS
+// records below the apex (with glue), and RFC 2308 negative answers
+// carrying the SOA.
+type Zone struct {
+	// Origin is the canonical apex name.
+	Origin string
+	soa    *dnswire.SOA
+	// rrs maps canonical owner name → type → records.
+	rrs map[string]map[dnswire.Type][]dnswire.RR
+}
+
+// NewZone creates an empty zone rooted at origin with a generated SOA.
+func NewZone(origin string) *Zone {
+	origin = dnswire.CanonicalName(origin)
+	z := &Zone{
+		Origin: origin,
+		rrs:    make(map[string]map[dnswire.Type][]dnswire.RR),
+	}
+	z.SetSOA(&dnswire.SOA{
+		Hdr:    dnswire.RRHeader{Name: origin, Type: dnswire.TypeSOA, Class: dnswire.ClassINET, TTL: 3600},
+		NS:     "ns." + strings.TrimPrefix(origin, "."),
+		Mbox:   "hostmaster." + strings.TrimPrefix(origin, "."),
+		Serial: 1, Refresh: 7200, Retry: 3600, Expire: 1209600, MinTTL: 60,
+	})
+	return z
+}
+
+// SetSOA replaces the zone's SOA record.
+func (z *Zone) SetSOA(soa *dnswire.SOA) {
+	soa.Hdr.Name = z.Origin
+	z.soa = soa
+	z.add(soa)
+}
+
+// SOA returns the zone's SOA record.
+func (z *Zone) SOA() *dnswire.SOA { return z.soa }
+
+// Add inserts a record. The owner must be within the zone.
+func (z *Zone) Add(rr dnswire.RR) error {
+	owner := dnswire.CanonicalName(rr.Header().Name)
+	if !dnswire.IsSubdomain(z.Origin, owner) {
+		return fmt.Errorf("dnsserver: record %q outside zone %q", owner, z.Origin)
+	}
+	rr.Header().Name = owner
+	z.add(rr)
+	return nil
+}
+
+func (z *Zone) add(rr dnswire.RR) {
+	owner := dnswire.CanonicalName(rr.Header().Name)
+	byType := z.rrs[owner]
+	if byType == nil {
+		byType = make(map[dnswire.Type][]dnswire.RR)
+		z.rrs[owner] = byType
+	}
+	t := rr.Header().Type
+	if t == dnswire.TypeSOA {
+		byType[t] = []dnswire.RR{rr} // singleton
+		return
+	}
+	byType[t] = append(byType[t], rr)
+}
+
+// AddA is a convenience for the most common record in this repository.
+func (z *Zone) AddA(name string, ttl uint32, addr netip.Addr) error {
+	return z.Add(&dnswire.A{
+		Hdr:  dnswire.RRHeader{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: ttl},
+		Addr: addr,
+	})
+}
+
+// AddCNAME is a convenience for alias records.
+func (z *Zone) AddCNAME(name string, ttl uint32, target string) error {
+	return z.Add(&dnswire.CNAME{
+		Hdr:    dnswire.RRHeader{Name: name, Type: dnswire.TypeCNAME, Class: dnswire.ClassINET, TTL: ttl},
+		Target: dnswire.CanonicalName(target),
+	})
+}
+
+// Remove deletes all records of type t at name; it reports whether
+// anything was removed. Used by the orchestrator when a service or
+// endpoint disappears.
+func (z *Zone) Remove(name string, t dnswire.Type) bool {
+	owner := dnswire.CanonicalName(name)
+	byType, ok := z.rrs[owner]
+	if !ok {
+		return false
+	}
+	if _, ok := byType[t]; !ok {
+		return false
+	}
+	delete(byType, t)
+	if len(byType) == 0 {
+		delete(z.rrs, owner)
+	}
+	return true
+}
+
+// Names returns every owner name in the zone, sorted.
+func (z *Zone) Names() []string {
+	names := make([]string, 0, len(z.rrs))
+	for n := range z.rrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupResult classifies a zone lookup.
+type LookupResult int
+
+// Lookup outcomes.
+const (
+	LookupSuccess    LookupResult = iota // answers populated
+	LookupNoData                         // name exists, type does not
+	LookupNXDomain                       // name does not exist
+	LookupDelegation                     // referral to child zone
+)
+
+// Lookup resolves (qname, qtype) within the zone, following in-zone
+// CNAME chains. It returns the result class, the answer records, and
+// the authority records (SOA for negative answers, NS for referrals).
+func (z *Zone) Lookup(qname string, qtype dnswire.Type) (LookupResult, []dnswire.RR, []dnswire.RR) {
+	qname = dnswire.CanonicalName(qname)
+	var answers []dnswire.RR
+	seen := map[string]bool{}
+	for {
+		if seen[qname] {
+			break // CNAME loop inside the zone; return what we have
+		}
+		seen[qname] = true
+
+		// Delegation check: an NS set at a name strictly between the
+		// apex and qname (or at qname itself when qtype != NS at apex)
+		// produces a referral.
+		if deleg := z.findDelegation(qname); deleg != "" {
+			nsSet := cloneRRs(z.rrs[deleg][dnswire.TypeNS])
+			var glue []dnswire.RR
+			for _, ns := range nsSet {
+				target := dnswire.CanonicalName(ns.(*dnswire.NS).NS)
+				if byType, ok := z.rrs[target]; ok {
+					glue = append(glue, cloneRRs(byType[dnswire.TypeA])...)
+					glue = append(glue, cloneRRs(byType[dnswire.TypeAAAA])...)
+				}
+			}
+			return LookupDelegation, answers, append(nsSet, glue...)
+		}
+
+		byType, ok := z.rrs[qname]
+		if !ok {
+			// Wildcard synthesis.
+			if wc := z.findWildcard(qname); wc != nil {
+				byType = wc
+			} else {
+				if len(answers) > 0 {
+					// CNAME chain left the populated namespace.
+					return LookupSuccess, answers, nil
+				}
+				return LookupNXDomain, nil, z.negativeAuthority()
+			}
+		}
+		if rrs, ok := byType[qtype]; ok && len(rrs) > 0 {
+			answers = append(answers, synthesize(cloneRRs(rrs), qname)...)
+			return LookupSuccess, answers, nil
+		}
+		if cn, ok := byType[dnswire.TypeCNAME]; ok && len(cn) > 0 && qtype != dnswire.TypeCNAME {
+			rec := synthesize(cloneRRs(cn[:1]), qname)[0].(*dnswire.CNAME)
+			answers = append(answers, rec)
+			target := dnswire.CanonicalName(rec.Target)
+			if !dnswire.IsSubdomain(z.Origin, target) {
+				// Chain leaves the zone: the resolver continues it.
+				return LookupSuccess, answers, nil
+			}
+			qname = target
+			continue
+		}
+		if len(answers) > 0 {
+			return LookupSuccess, answers, nil
+		}
+		return LookupNoData, nil, z.negativeAuthority()
+	}
+	return LookupSuccess, answers, nil
+}
+
+// findDelegation returns the closest enclosing owner of qname that
+// holds an NS set below the apex, or "".
+func (z *Zone) findDelegation(qname string) string {
+	for name := qname; name != "." && dnswire.IsSubdomain(z.Origin, name); name = dnswire.Parent(name) {
+		if name == z.Origin {
+			break
+		}
+		if byType, ok := z.rrs[name]; ok {
+			if _, hasNS := byType[dnswire.TypeNS]; hasNS {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// findWildcard looks for "*.<parent>" owners covering qname.
+func (z *Zone) findWildcard(qname string) map[dnswire.Type][]dnswire.RR {
+	for name := dnswire.Parent(qname); dnswire.IsSubdomain(z.Origin, name); name = dnswire.Parent(name) {
+		if byType, ok := z.rrs["*."+strings.TrimPrefix(name, ".")]; ok {
+			return byType
+		}
+		if name == z.Origin || name == "." {
+			break
+		}
+	}
+	return nil
+}
+
+// synthesize rewrites wildcard-owned records to the query name.
+func synthesize(rrs []dnswire.RR, qname string) []dnswire.RR {
+	for _, rr := range rrs {
+		if strings.HasPrefix(rr.Header().Name, "*.") {
+			rr.Header().Name = qname
+		}
+	}
+	return rrs
+}
+
+func (z *Zone) negativeAuthority() []dnswire.RR {
+	if z.soa == nil {
+		return nil
+	}
+	return []dnswire.RR{z.soa.Clone()}
+}
+
+func cloneRRs(rrs []dnswire.RR) []dnswire.RR {
+	out := make([]dnswire.RR, len(rrs))
+	for i, rr := range rrs {
+		out[i] = rr.Clone()
+	}
+	return out
+}
+
+// ZonePlugin serves authoritative answers from a set of zones,
+// matching the longest enclosing origin. Queries outside every zone
+// fall through to the next plugin.
+type ZonePlugin struct {
+	zones map[string]*Zone
+}
+
+// NewZonePlugin builds the plugin from zones.
+func NewZonePlugin(zones ...*Zone) *ZonePlugin {
+	p := &ZonePlugin{zones: make(map[string]*Zone, len(zones))}
+	for _, z := range zones {
+		p.zones[z.Origin] = z
+	}
+	return p
+}
+
+// AddZone registers another zone.
+func (p *ZonePlugin) AddZone(z *Zone) { p.zones[z.Origin] = z }
+
+// Zone returns the registered zone with the given origin, or nil.
+func (p *ZonePlugin) Zone(origin string) *Zone {
+	return p.zones[dnswire.CanonicalName(origin)]
+}
+
+// Name implements Plugin.
+func (p *ZonePlugin) Name() string { return "zone" }
+
+// match finds the longest registered origin enclosing qname.
+func (p *ZonePlugin) match(qname string) *Zone {
+	var best *Zone
+	for origin, z := range p.zones {
+		if dnswire.IsSubdomain(origin, qname) {
+			if best == nil || dnswire.CountLabels(origin) > dnswire.CountLabels(best.Origin) {
+				best = z
+			}
+		}
+	}
+	return best
+}
+
+// ServeDNS implements Plugin.
+func (p *ZonePlugin) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
+	z := p.match(r.Name())
+	if z == nil {
+		return next.ServeDNS(ctx, w, r)
+	}
+	result, answers, authority := z.Lookup(r.Name(), r.Type())
+	m := new(dnswire.Message)
+	m.SetReply(r.Msg)
+	m.Authoritative = true
+	switch result {
+	case LookupSuccess:
+		m.Answers = answers
+	case LookupNoData:
+		m.Authorities = authority
+	case LookupNXDomain:
+		m.Rcode = dnswire.RcodeNameError
+		m.Authorities = authority
+	case LookupDelegation:
+		m.Authoritative = false
+		m.Answers = answers
+		// Referral: NS in authority, glue in additional.
+		for _, rr := range authority {
+			if rr.Header().Type == dnswire.TypeNS {
+				m.Authorities = append(m.Authorities, rr)
+			} else {
+				m.Additionals = append(m.Additionals, rr)
+			}
+		}
+	}
+	// Echo the client's ECS option with a scope, per RFC 7871 §7.2.1,
+	// so resolvers know the answer may be cached per-subnet.
+	if ecs, ok := r.Msg.ECS(); ok {
+		opt := m.SetEDNS(dnswire.DefaultEDNSSize)
+		scoped := *ecs
+		scoped.ScopePrefix = ecs.SourcePrefix
+		opt.Options = append(opt.Options, &scoped)
+	}
+	if err := w.WriteMsg(m); err != nil {
+		return dnswire.RcodeServerFailure, err
+	}
+	return m.Rcode, nil
+}
+
+// ParseZone reads a minimal zone-file dialect: one record per line,
+// "owner [ttl] [IN] type rdata...", with "@" denoting the origin,
+// unqualified owners made relative to it, and ";" comments. It exists
+// so cmd/dnsd can serve operator-authored zones; programmatic callers
+// use the Zone builder methods.
+func ParseZone(origin string, r io.Reader) (*Zone, error) {
+	z := NewZone(origin)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		rr, err := parseRecordLine(z.Origin, fields)
+		if err != nil {
+			return nil, fmt.Errorf("zone %s line %d: %w", origin, lineNo, err)
+		}
+		if rr.Header().Type == dnswire.TypeSOA {
+			z.SetSOA(rr.(*dnswire.SOA))
+			continue
+		}
+		if err := z.Add(rr); err != nil {
+			return nil, fmt.Errorf("zone %s line %d: %w", origin, lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return z, nil
+}
+
+func qualify(name, origin string) string {
+	if name == "@" {
+		return origin
+	}
+	if strings.HasSuffix(name, ".") {
+		return dnswire.CanonicalName(name)
+	}
+	return dnswire.CanonicalName(name + "." + origin)
+}
+
+func parseRecordLine(origin string, fields []string) (dnswire.RR, error) {
+	if len(fields) < 3 {
+		return nil, fmt.Errorf("too few fields")
+	}
+	owner := qualify(fields[0], origin)
+	rest := fields[1:]
+	ttl := uint32(300)
+	if n, err := strconv.ParseUint(rest[0], 10, 32); err == nil {
+		ttl = uint32(n)
+		rest = rest[1:]
+	}
+	if len(rest) > 0 && strings.EqualFold(rest[0], "IN") {
+		rest = rest[1:]
+	}
+	if len(rest) < 2 {
+		return nil, fmt.Errorf("missing type or rdata")
+	}
+	typ, rdata := strings.ToUpper(rest[0]), rest[1:]
+	hdr := dnswire.RRHeader{Name: owner, Class: dnswire.ClassINET, TTL: ttl}
+	switch typ {
+	case "A":
+		addr, err := netip.ParseAddr(rdata[0])
+		if err != nil || !addr.Is4() {
+			return nil, fmt.Errorf("bad A rdata %q", rdata[0])
+		}
+		hdr.Type = dnswire.TypeA
+		return &dnswire.A{Hdr: hdr, Addr: addr}, nil
+	case "AAAA":
+		addr, err := netip.ParseAddr(rdata[0])
+		if err != nil || !addr.Is6() {
+			return nil, fmt.Errorf("bad AAAA rdata %q", rdata[0])
+		}
+		hdr.Type = dnswire.TypeAAAA
+		return &dnswire.AAAA{Hdr: hdr, Addr: addr}, nil
+	case "CNAME":
+		hdr.Type = dnswire.TypeCNAME
+		return &dnswire.CNAME{Hdr: hdr, Target: qualify(rdata[0], origin)}, nil
+	case "NS":
+		hdr.Type = dnswire.TypeNS
+		return &dnswire.NS{Hdr: hdr, NS: qualify(rdata[0], origin)}, nil
+	case "PTR":
+		hdr.Type = dnswire.TypePTR
+		return &dnswire.PTR{Hdr: hdr, PTR: qualify(rdata[0], origin)}, nil
+	case "TXT":
+		hdr.Type = dnswire.TypeTXT
+		var txt []string
+		for _, f := range rdata {
+			txt = append(txt, strings.Trim(f, `"`))
+		}
+		return &dnswire.TXT{Hdr: hdr, Txt: txt}, nil
+	case "MX":
+		if len(rdata) < 2 {
+			return nil, fmt.Errorf("MX needs preference and host")
+		}
+		pref, err := strconv.ParseUint(rdata[0], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bad MX preference %q", rdata[0])
+		}
+		hdr.Type = dnswire.TypeMX
+		return &dnswire.MX{Hdr: hdr, Preference: uint16(pref), MX: qualify(rdata[1], origin)}, nil
+	case "SRV":
+		if len(rdata) < 4 {
+			return nil, fmt.Errorf("SRV needs priority weight port target")
+		}
+		var nums [3]uint16
+		for i := 0; i < 3; i++ {
+			v, err := strconv.ParseUint(rdata[i], 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("bad SRV field %q", rdata[i])
+			}
+			nums[i] = uint16(v)
+		}
+		hdr.Type = dnswire.TypeSRV
+		return &dnswire.SRV{Hdr: hdr, Priority: nums[0], Weight: nums[1], Port: nums[2], Target: qualify(rdata[3], origin)}, nil
+	case "SOA":
+		if len(rdata) < 7 {
+			return nil, fmt.Errorf("SOA needs ns mbox serial refresh retry expire minttl")
+		}
+		var nums [5]uint32
+		for i := 0; i < 5; i++ {
+			v, err := strconv.ParseUint(rdata[2+i], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad SOA field %q", rdata[2+i])
+			}
+			nums[i] = uint32(v)
+		}
+		hdr.Type = dnswire.TypeSOA
+		return &dnswire.SOA{Hdr: hdr, NS: qualify(rdata[0], origin), Mbox: qualify(rdata[1], origin),
+			Serial: nums[0], Refresh: nums[1], Retry: nums[2], Expire: nums[3], MinTTL: nums[4]}, nil
+	}
+	return nil, fmt.Errorf("unsupported type %q", typ)
+}

@@ -1,0 +1,300 @@
+package dnsserver
+
+import (
+	"context"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"github.com/meccdn/meccdn/internal/dnswire"
+)
+
+func testZone(t *testing.T) *Zone {
+	t.Helper()
+	z := NewZone("mycdn.ciab.test.")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(z.AddA("edge1.mycdn.ciab.test.", 60, netip.MustParseAddr("10.96.0.11")))
+	must(z.AddA("edge1.mycdn.ciab.test.", 60, netip.MustParseAddr("10.96.0.12")))
+	must(z.AddCNAME("video.demo1.mycdn.ciab.test.", 300, "edge1.mycdn.ciab.test."))
+	must(z.AddCNAME("chain1.mycdn.ciab.test.", 300, "chain2.mycdn.ciab.test."))
+	must(z.AddCNAME("chain2.mycdn.ciab.test.", 300, "edge1.mycdn.ciab.test."))
+	must(z.AddCNAME("external.mycdn.ciab.test.", 300, "cdn.elsewhere.example."))
+	must(z.Add(&dnswire.TXT{
+		Hdr: dnswire.RRHeader{Name: "edge1.mycdn.ciab.test.", Type: dnswire.TypeTXT, Class: dnswire.ClassINET, TTL: 60},
+		Txt: []string{"site=edge1"},
+	}))
+	must(z.AddA("*.wild.mycdn.ciab.test.", 60, netip.MustParseAddr("10.96.0.99")))
+	// Delegation: child.mycdn.ciab.test → ns.child with glue.
+	must(z.Add(&dnswire.NS{
+		Hdr: dnswire.RRHeader{Name: "child.mycdn.ciab.test.", Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 3600},
+		NS:  "ns.child.mycdn.ciab.test.",
+	}))
+	must(z.AddA("ns.child.mycdn.ciab.test.", 3600, netip.MustParseAddr("10.96.0.200")))
+	return z
+}
+
+func TestZoneLookupExact(t *testing.T) {
+	z := testZone(t)
+	res, ans, _ := z.Lookup("edge1.mycdn.ciab.test.", dnswire.TypeA)
+	if res != LookupSuccess || len(ans) != 2 {
+		t.Fatalf("res=%v answers=%d", res, len(ans))
+	}
+}
+
+func TestZoneLookupCNAMEChase(t *testing.T) {
+	z := testZone(t)
+	res, ans, _ := z.Lookup("video.demo1.mycdn.ciab.test.", dnswire.TypeA)
+	if res != LookupSuccess {
+		t.Fatalf("res = %v", res)
+	}
+	// CNAME + 2 A records.
+	if len(ans) != 3 {
+		t.Fatalf("answers = %d: %v", len(ans), ans)
+	}
+	if ans[0].Header().Type != dnswire.TypeCNAME {
+		t.Errorf("first answer type = %v", ans[0].Header().Type)
+	}
+}
+
+func TestZoneLookupMultiLinkChain(t *testing.T) {
+	z := testZone(t)
+	res, ans, _ := z.Lookup("chain1.mycdn.ciab.test.", dnswire.TypeA)
+	if res != LookupSuccess || len(ans) != 4 {
+		t.Fatalf("res=%v answers=%d", res, len(ans))
+	}
+}
+
+func TestZoneLookupExternalCNAME(t *testing.T) {
+	z := testZone(t)
+	res, ans, _ := z.Lookup("external.mycdn.ciab.test.", dnswire.TypeA)
+	if res != LookupSuccess || len(ans) != 1 {
+		t.Fatalf("res=%v answers=%d", res, len(ans))
+	}
+	cn, ok := ans[0].(*dnswire.CNAME)
+	if !ok || cn.Target != "cdn.elsewhere.example." {
+		t.Errorf("answer = %v", ans[0])
+	}
+}
+
+func TestZoneLookupNXDomain(t *testing.T) {
+	z := testZone(t)
+	res, _, auth := z.Lookup("missing.mycdn.ciab.test.", dnswire.TypeA)
+	if res != LookupNXDomain {
+		t.Fatalf("res = %v", res)
+	}
+	if len(auth) != 1 || auth[0].Header().Type != dnswire.TypeSOA {
+		t.Errorf("authority = %v", auth)
+	}
+}
+
+func TestZoneLookupNoData(t *testing.T) {
+	z := testZone(t)
+	res, _, auth := z.Lookup("edge1.mycdn.ciab.test.", dnswire.TypeAAAA)
+	if res != LookupNoData {
+		t.Fatalf("res = %v", res)
+	}
+	if len(auth) != 1 || auth[0].Header().Type != dnswire.TypeSOA {
+		t.Errorf("authority = %v", auth)
+	}
+}
+
+func TestZoneLookupWildcard(t *testing.T) {
+	z := testZone(t)
+	res, ans, _ := z.Lookup("anything.wild.mycdn.ciab.test.", dnswire.TypeA)
+	if res != LookupSuccess || len(ans) != 1 {
+		t.Fatalf("res=%v answers=%v", res, ans)
+	}
+	if ans[0].Header().Name != "anything.wild.mycdn.ciab.test." {
+		t.Errorf("wildcard owner not synthesized: %q", ans[0].Header().Name)
+	}
+	// The stored wildcard record must not be mutated by synthesis.
+	res2, ans2, _ := z.Lookup("other.wild.mycdn.ciab.test.", dnswire.TypeA)
+	if res2 != LookupSuccess || ans2[0].Header().Name != "other.wild.mycdn.ciab.test." {
+		t.Errorf("second wildcard lookup = %v %v", res2, ans2)
+	}
+}
+
+func TestZoneLookupDelegation(t *testing.T) {
+	z := testZone(t)
+	res, _, auth := z.Lookup("deep.child.mycdn.ciab.test.", dnswire.TypeA)
+	if res != LookupDelegation {
+		t.Fatalf("res = %v", res)
+	}
+	var ns, glue int
+	for _, rr := range auth {
+		switch rr.Header().Type {
+		case dnswire.TypeNS:
+			ns++
+		case dnswire.TypeA:
+			glue++
+		}
+	}
+	if ns != 1 || glue != 1 {
+		t.Errorf("referral ns=%d glue=%d", ns, glue)
+	}
+}
+
+func TestZoneRejectsOutOfZoneRecord(t *testing.T) {
+	z := testZone(t)
+	if err := z.AddA("elsewhere.example.", 60, netip.MustParseAddr("192.0.2.1")); err == nil {
+		t.Error("out-of-zone record accepted")
+	}
+}
+
+func TestZoneRemove(t *testing.T) {
+	z := testZone(t)
+	if !z.Remove("edge1.mycdn.ciab.test.", dnswire.TypeA) {
+		t.Fatal("Remove returned false")
+	}
+	res, _, _ := z.Lookup("edge1.mycdn.ciab.test.", dnswire.TypeA)
+	if res != LookupNoData {
+		t.Errorf("after remove res = %v", res)
+	}
+	if z.Remove("edge1.mycdn.ciab.test.", dnswire.TypeA) {
+		t.Error("second Remove returned true")
+	}
+	if z.Remove("ghost.mycdn.ciab.test.", dnswire.TypeA) {
+		t.Error("Remove of missing name returned true")
+	}
+}
+
+func TestZoneCNAMELoopTerminates(t *testing.T) {
+	z := NewZone("loop.test.")
+	_ = z.AddCNAME("a.loop.test.", 60, "b.loop.test.")
+	_ = z.AddCNAME("b.loop.test.", 60, "a.loop.test.")
+	res, ans, _ := z.Lookup("a.loop.test.", dnswire.TypeA)
+	if res != LookupSuccess {
+		t.Fatalf("res = %v", res)
+	}
+	if len(ans) > 4 {
+		t.Errorf("loop produced %d answers", len(ans))
+	}
+}
+
+func TestZonePluginServesAuthoritative(t *testing.T) {
+	p := NewZonePlugin(testZone(t))
+	h := Chain(p)
+	q := new(dnswire.Message)
+	q.SetQuestion("video.demo1.mycdn.ciab.test.", dnswire.TypeA)
+	resp := Resolve(context.Background(), h, &Request{Msg: q, Transport: "test"})
+	if resp.Rcode != dnswire.RcodeSuccess || !resp.Authoritative {
+		t.Fatalf("rcode=%v aa=%v", resp.Rcode, resp.Authoritative)
+	}
+	if len(resp.Answers) != 3 {
+		t.Errorf("answers = %d", len(resp.Answers))
+	}
+}
+
+func TestZonePluginFallsThrough(t *testing.T) {
+	p := NewZonePlugin(testZone(t))
+	h := Chain(p)
+	q := new(dnswire.Message)
+	q.SetQuestion("www.unrelated.example.", dnswire.TypeA)
+	resp := Resolve(context.Background(), h, &Request{Msg: q, Transport: "test"})
+	if resp.Rcode != dnswire.RcodeRefused {
+		t.Errorf("rcode = %v, want REFUSED fallthrough", resp.Rcode)
+	}
+}
+
+func TestZonePluginLongestMatch(t *testing.T) {
+	parent := NewZone("test.")
+	_ = parent.AddA("x.test.", 60, netip.MustParseAddr("192.0.2.1"))
+	child := NewZone("sub.test.")
+	_ = child.AddA("x.sub.test.", 60, netip.MustParseAddr("192.0.2.2"))
+	p := NewZonePlugin(parent, child)
+	q := new(dnswire.Message)
+	q.SetQuestion("x.sub.test.", dnswire.TypeA)
+	resp := Resolve(context.Background(), Chain(p), &Request{Msg: q})
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %v", resp.Answers)
+	}
+	if got := resp.Answers[0].(*dnswire.A).Addr.String(); got != "192.0.2.2" {
+		t.Errorf("answer from wrong zone: %s", got)
+	}
+}
+
+func TestZonePluginEchoesECSScope(t *testing.T) {
+	p := NewZonePlugin(testZone(t))
+	q := new(dnswire.Message)
+	q.SetQuestion("edge1.mycdn.ciab.test.", dnswire.TypeA)
+	opt := q.SetEDNS(1232)
+	opt.Options = append(opt.Options, dnswire.NewECSOption(netip.MustParsePrefix("203.0.113.0/24")))
+	resp := Resolve(context.Background(), Chain(p), &Request{Msg: q})
+	ecs, ok := resp.ECS()
+	if !ok {
+		t.Fatal("response lacks ECS")
+	}
+	if ecs.ScopePrefix != 24 {
+		t.Errorf("scope = %d", ecs.ScopePrefix)
+	}
+}
+
+func TestParseZone(t *testing.T) {
+	const text = `
+; the MEC-CDN demo zone
+@ 3600 IN SOA ns hostmaster 2020110401 7200 3600 1209600 300
+@ 3600 IN NS ns
+ns 3600 IN A 10.96.0.2
+edge1 60 IN A 10.96.0.11
+edge1 60 IN TXT "site=edge1"
+video.demo1 300 IN CNAME edge1
+alias 300 IN CNAME cdn.elsewhere.example.
+mail 300 IN MX 10 mx1
+_dns._udp 300 IN SRV 0 5 53 ns
+six 60 IN AAAA fd00::1
+rev 60 IN PTR edge1
+`
+	z, err := ParseZone("mycdn.ciab.test.", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.SOA().Serial != 2020110401 {
+		t.Errorf("SOA serial = %d", z.SOA().Serial)
+	}
+	res, ans, _ := z.Lookup("video.demo1.mycdn.ciab.test.", dnswire.TypeA)
+	if res != LookupSuccess || len(ans) != 2 {
+		t.Fatalf("parsed zone lookup: res=%v ans=%v", res, ans)
+	}
+	res, ans, _ = z.Lookup("mail.mycdn.ciab.test.", dnswire.TypeMX)
+	if res != LookupSuccess || ans[0].(*dnswire.MX).MX != "mx1.mycdn.ciab.test." {
+		t.Errorf("MX = %v", ans)
+	}
+	res, ans, _ = z.Lookup("_dns._udp.mycdn.ciab.test.", dnswire.TypeSRV)
+	if res != LookupSuccess || ans[0].(*dnswire.SRV).Port != 53 {
+		t.Errorf("SRV = %v", ans)
+	}
+}
+
+func TestParseZoneErrors(t *testing.T) {
+	bad := []string{
+		"edge1 60 IN A not-an-ip",
+		"edge1 60 IN AAAA 10.0.0.1",
+		"edge1 60 IN WEIRD foo",
+		"edge1 60 IN MX ten mx1",
+		"edge1",
+		"edge1 60 IN SRV 1 2 3",
+	}
+	for _, line := range bad {
+		if _, err := ParseZone("z.test.", strings.NewReader(line)); err == nil {
+			t.Errorf("ParseZone accepted %q", line)
+		}
+	}
+}
+
+func TestZoneNames(t *testing.T) {
+	z := testZone(t)
+	names := z.Names()
+	if len(names) == 0 {
+		t.Fatal("no names")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatal("names not sorted")
+		}
+	}
+}

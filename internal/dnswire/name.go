@@ -1,0 +1,205 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Errors returned by name packing and unpacking.
+var (
+	ErrNameTooLong    = errors.New("dnswire: domain name exceeds 255 octets")
+	ErrLabelTooLong   = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel     = errors.New("dnswire: empty label in domain name")
+	ErrBadPointer     = errors.New("dnswire: bad compression pointer")
+	ErrPointerLoop    = errors.New("dnswire: compression pointer loop")
+	ErrBufferTooSmall = errors.New("dnswire: buffer too small")
+	ErrBadRdata       = errors.New("dnswire: malformed rdata")
+)
+
+const (
+	maxNameWire    = 255 // total encoded length including length octets
+	maxLabel       = 63
+	maxPointerHops = 64 // far above any legitimate chain
+)
+
+// splitLabels converts a presentation-format name into its labels,
+// honouring \. and \\ escapes and decimal \DDD escapes.
+func splitLabels(name string) ([]string, error) {
+	if name == "." || name == "" {
+		return nil, nil
+	}
+	name = strings.TrimSuffix(name, ".")
+	var labels []string
+	var cur strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '\\':
+			if i+1 >= len(name) {
+				return nil, fmt.Errorf("dnswire: dangling escape in %q", name)
+			}
+			next := name[i+1]
+			if next >= '0' && next <= '9' {
+				if i+3 >= len(name) {
+					return nil, fmt.Errorf("dnswire: truncated \\DDD escape in %q", name)
+				}
+				v := 0
+				for j := 1; j <= 3; j++ {
+					d := name[i+j]
+					if d < '0' || d > '9' {
+						return nil, fmt.Errorf("dnswire: bad \\DDD escape in %q", name)
+					}
+					v = v*10 + int(d-'0')
+				}
+				if v > 255 {
+					return nil, fmt.Errorf("dnswire: \\DDD escape out of range in %q", name)
+				}
+				cur.WriteByte(byte(v))
+				i += 3
+			} else {
+				cur.WriteByte(next)
+				i++
+			}
+		case c == '.':
+			if cur.Len() == 0 {
+				return nil, ErrEmptyLabel
+			}
+			labels = append(labels, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() == 0 {
+		return nil, ErrEmptyLabel
+	}
+	labels = append(labels, cur.String())
+	return labels, nil
+}
+
+// escapeLabel renders a raw label in presentation format.
+func escapeLabel(label string) string {
+	var b strings.Builder
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		switch {
+		case c == '.' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < '!' || c > '~':
+			fmt.Fprintf(&b, "\\%03d", c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// compressor tracks name→offset mappings while packing a message.
+// Offsets beyond the 14-bit pointer range are never recorded.
+type compressor struct {
+	offsets map[string]int
+}
+
+func newCompressor() *compressor {
+	return &compressor{offsets: make(map[string]int)}
+}
+
+// packName appends the wire encoding of name to b, using and updating
+// the compressor c. A nil compressor disables compression entirely
+// (required inside SRV rdata and anywhere a digest is computed).
+func packName(b []byte, name string, c *compressor) ([]byte, error) {
+	labels, err := splitLabels(name)
+	if err != nil {
+		return nil, err
+	}
+	wireLen := 1 // terminating zero octet
+	for _, l := range labels {
+		if len(l) > maxLabel {
+			return nil, ErrLabelTooLong
+		}
+		wireLen += 1 + len(l)
+	}
+	if wireLen > maxNameWire {
+		return nil, ErrNameTooLong
+	}
+	for i := range labels {
+		suffix := strings.ToLower(strings.Join(labels[i:], "."))
+		if c != nil {
+			if off, ok := c.offsets[suffix]; ok {
+				b = append(b, 0xC0|byte(off>>8), byte(off))
+				return b, nil
+			}
+			if len(b) < 0x4000 {
+				c.offsets[suffix] = len(b)
+			}
+		}
+		l := labels[i]
+		b = append(b, byte(len(l)))
+		b = append(b, l...)
+	}
+	return append(b, 0), nil
+}
+
+// unpackName decodes a possibly-compressed name starting at off.
+// It returns the presentation-format name and the offset of the first
+// byte after the name as laid out at off (pointers are followed for
+// content but do not advance the caller's cursor past their two bytes).
+func unpackName(msg []byte, off int) (string, int, error) {
+	if off < 0 || off >= len(msg) {
+		return "", 0, ErrBufferTooSmall
+	}
+	var sb strings.Builder
+	ptrCount := 0
+	newOff := -1 // offset to resume at, set on first pointer
+	budget := maxNameWire
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrBufferTooSmall
+		}
+		c := msg[off]
+		switch {
+		case c == 0:
+			off++
+			if newOff < 0 {
+				newOff = off
+			}
+			name := sb.String()
+			if name == "" {
+				name = "."
+			}
+			return name, newOff, nil
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrBadPointer
+			}
+			ptr := int(c&0x3F)<<8 | int(msg[off+1])
+			if newOff < 0 {
+				newOff = off + 2
+			}
+			if ptrCount++; ptrCount > maxPointerHops {
+				return "", 0, ErrPointerLoop
+			}
+			if ptr >= off {
+				// Forward pointers enable loops; RFC-compliant
+				// encoders only point backwards.
+				return "", 0, ErrBadPointer
+			}
+			off = ptr
+		case c&0xC0 != 0:
+			return "", 0, fmt.Errorf("dnswire: reserved label type 0x%02x", c&0xC0)
+		default:
+			n := int(c)
+			if off+1+n > len(msg) {
+				return "", 0, ErrBufferTooSmall
+			}
+			if budget -= n + 1; budget <= 0 {
+				return "", 0, ErrNameTooLong
+			}
+			sb.WriteString(escapeLabel(string(msg[off+1 : off+1+n])))
+			sb.WriteByte('.')
+			off += 1 + n
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package dnswire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackNameRoundTrip(t *testing.T) {
+	names := []string{
+		".",
+		"com.",
+		"example.com.",
+		"a0.muscache.com.",
+		"q-cf.bstatic.com.",
+		"static.tacdn.com.",
+		"cdn0.agoda.net.",
+		"a.cdn.intentmedia.net.",
+		"video.demo1.mycdn.ciab.test.",
+		"_sip._tcp.example.org.",
+		strings.Repeat("a", 63) + ".example.",
+	}
+	for _, name := range names {
+		b, err := packName(nil, name, nil)
+		if err != nil {
+			t.Fatalf("packName(%q): %v", name, err)
+		}
+		got, off, err := unpackName(b, 0)
+		if err != nil {
+			t.Fatalf("unpackName(%q): %v", name, err)
+		}
+		if got != name {
+			t.Errorf("round trip of %q: got %q", name, got)
+		}
+		if off != len(b) {
+			t.Errorf("unpackName(%q): consumed %d of %d bytes", name, off, len(b))
+		}
+	}
+}
+
+func TestPackNameWithoutTrailingDot(t *testing.T) {
+	b, err := packName(nil, "example.com", nil)
+	if err != nil {
+		t.Fatalf("packName: %v", err)
+	}
+	got, _, err := unpackName(b, 0)
+	if err != nil {
+		t.Fatalf("unpackName: %v", err)
+	}
+	if got != "example.com." {
+		t.Errorf("got %q, want example.com.", got)
+	}
+}
+
+func TestPackNameEscapes(t *testing.T) {
+	// A label containing a literal dot must round-trip escaped.
+	name := `foo\.bar.example.`
+	b, err := packName(nil, name, nil)
+	if err != nil {
+		t.Fatalf("packName: %v", err)
+	}
+	// The first label must be 7 raw octets: f o o . b a r
+	if b[0] != 7 || string(b[1:8]) != "foo.bar" {
+		t.Fatalf("first label wire = %q (len %d)", b[1:8], b[0])
+	}
+	got, _, err := unpackName(b, 0)
+	if err != nil {
+		t.Fatalf("unpackName: %v", err)
+	}
+	if got != name {
+		t.Errorf("round trip: got %q want %q", got, name)
+	}
+}
+
+func TestPackNameDecimalEscape(t *testing.T) {
+	name := `\000\255.example.`
+	b, err := packName(nil, name, nil)
+	if err != nil {
+		t.Fatalf("packName: %v", err)
+	}
+	if b[0] != 2 || b[1] != 0 || b[2] != 255 {
+		t.Fatalf("wire label = % x", b[:3])
+	}
+	got, _, err := unpackName(b, 0)
+	if err != nil {
+		t.Fatalf("unpackName: %v", err)
+	}
+	if got != name {
+		t.Errorf("round trip: got %q want %q", got, name)
+	}
+}
+
+func TestPackNameErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		want error
+	}{
+		{strings.Repeat("a", 64) + ".com.", ErrLabelTooLong},
+		{strings.Repeat(strings.Repeat("a", 63)+".", 5), ErrNameTooLong},
+		{"..", ErrEmptyLabel},
+		{"a..b.", ErrEmptyLabel},
+	}
+	for _, tt := range tests {
+		if _, err := packName(nil, tt.name, nil); !errors.Is(err, tt.want) {
+			t.Errorf("packName(%q) error = %v, want %v", tt.name, err, tt.want)
+		}
+	}
+}
+
+func TestUnpackNamePointerLoop(t *testing.T) {
+	// A name that points at itself.
+	msg := []byte{0xC0, 0x00}
+	if _, _, err := unpackName(msg, 0); err == nil {
+		t.Fatal("expected error for self-referencing pointer")
+	}
+}
+
+func TestUnpackNameForwardPointerRejected(t *testing.T) {
+	// Pointer to a later offset must be rejected.
+	msg := []byte{0xC0, 0x04, 0x00, 0x00, 0x01, 'a', 0x00}
+	if _, _, err := unpackName(msg, 0); !errors.Is(err, ErrBadPointer) {
+		t.Fatalf("error = %v, want ErrBadPointer", err)
+	}
+}
+
+func TestUnpackNameTruncated(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{5, 'a', 'b'},
+		{0xC0},
+		{3, 'c', 'o', 'm'}, // missing terminator
+	}
+	for _, msg := range cases {
+		if _, _, err := unpackName(msg, 0); err == nil {
+			t.Errorf("unpackName(% x): expected error", msg)
+		}
+	}
+}
+
+func TestCompressionProducesPointer(t *testing.T) {
+	c := newCompressor()
+	b, err := packName(nil, "www.example.com.", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := len(b)
+	b, err = packName(b, "ftp.example.com.", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := len(b) - first
+	// "ftp" label (4) + pointer (2) = 6 bytes; uncompressed would be 17.
+	if second != 6 {
+		t.Errorf("compressed encoding is %d bytes, want 6", second)
+	}
+	got, _, err := unpackName(b, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "ftp.example.com." {
+		t.Errorf("decompressed to %q", got)
+	}
+}
+
+func TestCompressionIsCaseInsensitive(t *testing.T) {
+	c := newCompressor()
+	b, _ := packName(nil, "EXAMPLE.com.", c)
+	before := len(b)
+	b, _ = packName(b, "www.example.COM.", c)
+	if len(b)-before >= before {
+		t.Errorf("no compression across case variants: %d bytes added", len(b)-before)
+	}
+}
+
+func TestNameRoundTripProperty(t *testing.T) {
+	f := func(labels [][]byte) bool {
+		// Build a legal name from arbitrary label bytes.
+		total := 1
+		var parts []string
+		for _, l := range labels {
+			if len(l) == 0 {
+				continue
+			}
+			if len(l) > 63 {
+				l = l[:63]
+			}
+			if total+len(l)+1 > 255 {
+				break
+			}
+			total += len(l) + 1
+			parts = append(parts, escapeLabel(string(l)))
+		}
+		name := "."
+		if len(parts) > 0 {
+			name = strings.Join(parts, ".") + "."
+		}
+		b, err := packName(nil, name, nil)
+		if err != nil {
+			t.Logf("packName(%q): %v", name, err)
+			return false
+		}
+		got, off, err := unpackName(b, 0)
+		if err != nil {
+			t.Logf("unpackName(%q): %v", name, err)
+			return false
+		}
+		return got == name && off == len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnpackNameNeverPanics(t *testing.T) {
+	f := func(msg []byte, off uint8) bool {
+		start := 0
+		if len(msg) > 0 {
+			start = int(off) % len(msg)
+		}
+		_, _, _ = unpackName(msg, start) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalName(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"", "."},
+		{".", "."},
+		{"Example.COM", "example.com."},
+		{"example.com.", "example.com."},
+		{"A0.Muscache.Com", "a0.muscache.com."},
+	}
+	for _, tt := range tests {
+		if got := CanonicalName(tt.in); got != tt.want {
+			t.Errorf("CanonicalName(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestIsSubdomain(t *testing.T) {
+	tests := []struct {
+		parent, child string
+		want          bool
+	}{
+		{"com.", "example.com.", true},
+		{"example.com.", "example.com.", true},
+		{"example.com.", "www.example.com.", true},
+		{"example.com.", "notexample.com.", false},
+		{"example.com.", "com.", false},
+		{".", "anything.at.all.", true},
+		{"mycdn.ciab.test.", "video.demo1.mycdn.ciab.test.", true},
+		{"Mycdn.CIAB.test", "VIDEO.demo1.mycdn.ciab.test.", true},
+	}
+	for _, tt := range tests {
+		if got := IsSubdomain(tt.parent, tt.child); got != tt.want {
+			t.Errorf("IsSubdomain(%q, %q) = %v, want %v", tt.parent, tt.child, got, tt.want)
+		}
+	}
+}
+
+func TestCountLabelsAndParent(t *testing.T) {
+	if n := CountLabels("."); n != 0 {
+		t.Errorf("CountLabels(.) = %d", n)
+	}
+	if n := CountLabels("a.b.c."); n != 3 {
+		t.Errorf("CountLabels(a.b.c.) = %d", n)
+	}
+	if p := Parent("www.example.com."); p != "example.com." {
+		t.Errorf("Parent = %q", p)
+	}
+	if p := Parent("com."); p != "." {
+		t.Errorf("Parent(com.) = %q", p)
+	}
+	if p := Parent("."); p != "." {
+		t.Errorf("Parent(.) = %q", p)
+	}
+}
+
+func TestEscapeLabelPrintable(t *testing.T) {
+	if got := escapeLabel("abc-123"); got != "abc-123" {
+		t.Errorf("escapeLabel plain = %q", got)
+	}
+	if got := escapeLabel("a.b"); got != `a\.b` {
+		t.Errorf("escapeLabel dot = %q", got)
+	}
+	if got := escapeLabel("a\x00b"); got != `a\000b` {
+		t.Errorf("escapeLabel nul = %q", got)
+	}
+}
+
+func TestPackNameBufferIsAppended(t *testing.T) {
+	prefix := []byte{1, 2, 3}
+	b, err := packName(prefix, "x.", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(b, prefix) {
+		t.Error("packName did not preserve existing buffer contents")
+	}
+}

@@ -1,0 +1,123 @@
+package dnswire
+
+import (
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRRStringAndClone exercises presentation output and deep copying
+// for every record type in one table.
+func TestRRStringAndClone(t *testing.T) {
+	cases := []struct {
+		rr   RR
+		want []string // substrings of String()
+	}{
+		{
+			&A{Hdr: RRHeader{Name: "a.test.", Type: TypeA, Class: ClassINET, TTL: 60}, Addr: netip.MustParseAddr("192.0.2.1")},
+			[]string{"a.test.", "60", "IN", "A", "192.0.2.1"},
+		},
+		{
+			&AAAA{Hdr: RRHeader{Name: "b.test.", Type: TypeAAAA, Class: ClassINET, TTL: 61}, Addr: netip.MustParseAddr("2001:db8::1")},
+			[]string{"AAAA", "2001:db8::1"},
+		},
+		{
+			&CNAME{Hdr: RRHeader{Name: "c.test.", Type: TypeCNAME, Class: ClassINET, TTL: 62}, Target: "t.test."},
+			[]string{"CNAME", "t.test."},
+		},
+		{
+			&NS{Hdr: RRHeader{Name: "d.test.", Type: TypeNS, Class: ClassINET, TTL: 63}, NS: "ns.test."},
+			[]string{"NS", "ns.test."},
+		},
+		{
+			&PTR{Hdr: RRHeader{Name: "e.test.", Type: TypePTR, Class: ClassINET, TTL: 64}, PTR: "p.test."},
+			[]string{"PTR", "p.test."},
+		},
+		{
+			&SOA{Hdr: RRHeader{Name: "f.test.", Type: TypeSOA, Class: ClassINET, TTL: 65},
+				NS: "ns.test.", Mbox: "admin.test.", Serial: 42, Refresh: 1, Retry: 2, Expire: 3, MinTTL: 4},
+			[]string{"SOA", "ns.test.", "admin.test.", "42"},
+		},
+		{
+			&MX{Hdr: RRHeader{Name: "g.test.", Type: TypeMX, Class: ClassINET, TTL: 66}, Preference: 10, MX: "mail.test."},
+			[]string{"MX", "10", "mail.test."},
+		},
+		{
+			&TXT{Hdr: RRHeader{Name: "h.test.", Type: TypeTXT, Class: ClassINET, TTL: 67}, Txt: []string{"hello world"}},
+			[]string{"TXT", `"hello world"`},
+		},
+		{
+			&SRV{Hdr: RRHeader{Name: "i.test.", Type: TypeSRV, Class: ClassINET, TTL: 68},
+				Priority: 1, Weight: 2, Port: 53, Target: "srv.test."},
+			[]string{"SRV", "53", "srv.test."},
+		},
+		{
+			&Generic{Hdr: RRHeader{Name: "j.test.", Type: Type(999), Class: ClassINET, TTL: 69}, Data: []byte{0xAB, 0xCD}},
+			[]string{"TYPE999", "abcd"},
+		},
+	}
+	for _, tc := range cases {
+		s := tc.rr.String()
+		for _, want := range tc.want {
+			if !strings.Contains(s, want) {
+				t.Errorf("%T.String() = %q, missing %q", tc.rr, s, want)
+			}
+		}
+		clone := tc.rr.Clone()
+		if !reflect.DeepEqual(clone, tc.rr) {
+			t.Errorf("%T.Clone() differs from original", tc.rr)
+		}
+		// Mutating the clone's header must not affect the original.
+		clone.Header().TTL = 9999
+		if tc.rr.Header().TTL == 9999 {
+			t.Errorf("%T.Clone() shares header", tc.rr)
+		}
+	}
+}
+
+func TestOPTString(t *testing.T) {
+	opt := NewOPT(1232)
+	opt.Options = append(opt.Options,
+		NewECSOption(netip.MustParsePrefix("203.0.113.0/24")),
+		&GenericOption{OptCode: 10, Data: []byte{1}})
+	s := opt.String()
+	for _, want := range []string{"udp 1232", "CLIENT-SUBNET 203.0.113.0/24", "option(10)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("OPT.String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestQuestionString(t *testing.T) {
+	q := Question{Name: "x.test.", Type: TypeA, Class: ClassINET}
+	if got := q.String(); !strings.Contains(got, "x.test.") || !strings.Contains(got, "A") {
+		t.Errorf("Question.String() = %q", got)
+	}
+}
+
+func TestConstantString(t *testing.T) {
+	// Exercises remaining stringers on the numeric types.
+	for typ, want := range map[Type]string{
+		TypeNS: "NS", TypeSOA: "SOA", TypePTR: "PTR", TypeMX: "MX",
+		TypeTXT: "TXT", TypeSRV: "SRV", TypeAAAA: "AAAA", TypeANY: "ANY", TypeNone: "NONE",
+	} {
+		if typ.String() != want {
+			t.Errorf("Type(%d).String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+	for rc, want := range map[Rcode]string{
+		RcodeFormatError: "FORMERR", RcodeNotImplemented: "NOTIMP", RcodeBadVers: "BADVERS",
+	} {
+		if rc.String() != want {
+			t.Errorf("Rcode(%d) = %q, want %q", rc, rc.String(), want)
+		}
+	}
+	for oc, want := range map[Opcode]string{
+		OpcodeIQuery: "IQUERY", OpcodeStatus: "STATUS", OpcodeNotify: "NOTIFY", OpcodeUpdate: "UPDATE",
+	} {
+		if oc.String() != want {
+			t.Errorf("Opcode(%d) = %q, want %q", oc, oc.String(), want)
+		}
+	}
+}

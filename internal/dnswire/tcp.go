@@ -1,0 +1,38 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// WriteTCP writes one DNS message to w using the two-byte big-endian
+// length prefix mandated by RFC 1035 §4.2.2.
+func WriteTCP(w io.Writer, msg []byte) error {
+	if len(msg) > MaxMessageSize {
+		return fmt.Errorf("dnswire: TCP message is %d bytes, max %d", len(msg), MaxMessageSize)
+	}
+	var prefix [2]byte
+	binary.BigEndian.PutUint16(prefix[:], uint16(len(msg)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return fmt.Errorf("writing TCP length prefix: %w", err)
+	}
+	if _, err := w.Write(msg); err != nil {
+		return fmt.Errorf("writing TCP message body: %w", err)
+	}
+	return nil
+}
+
+// ReadTCP reads one length-prefixed DNS message from r.
+func ReadTCP(r io.Reader) ([]byte, error) {
+	var prefix [2]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(prefix[:])
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, fmt.Errorf("reading %d-byte TCP message body: %w", n, err)
+	}
+	return msg, nil
+}

@@ -1,0 +1,73 @@
+package dnswire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestTCPFramingRoundTrip(t *testing.T) {
+	m := new(Message)
+	m.SetQuestion("tcp.test.", TypeA)
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTCP(&buf, wire); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTCP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wire) {
+		t.Error("TCP round trip mismatch")
+	}
+}
+
+func TestTCPMultipleMessages(t *testing.T) {
+	var buf bytes.Buffer
+	var wires [][]byte
+	for i := 0; i < 5; i++ {
+		m := new(Message)
+		m.ID = uint16(i)
+		m.SetQuestion("multi.test.", TypeA)
+		m.ID = uint16(i)
+		w, err := m.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wires = append(wires, w)
+		if err := WriteTCP(&buf, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range wires {
+		got, err := ReadTCP(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("message %d mismatch", i)
+		}
+	}
+	if _, err := ReadTCP(&buf); err != io.EOF {
+		t.Errorf("after stream end: %v, want EOF", err)
+	}
+}
+
+func TestReadTCPTruncatedBody(t *testing.T) {
+	r := strings.NewReader("\x00\x10short")
+	if _, err := ReadTCP(r); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestWriteTCPOversized(t *testing.T) {
+	big := make([]byte, MaxMessageSize+1)
+	if err := WriteTCP(io.Discard, big); err == nil {
+		t.Error("oversized message accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/meccdn/meccdn/internal/stats"
+)
+
+// CSV renders the Figure 2 grid as machine-readable rows for external
+// plotting: domain,access,mean_ms,min_ms,max_ms,n.
+func (r *Fig2Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("domain,access,mean_ms,min_ms,max_ms,n\n")
+	for _, row := range r.Cells {
+		for _, c := range row {
+			fmt.Fprintf(&b, "%s,%s,%.3f,%.3f,%.3f,%d\n",
+				c.Domain, c.Access, stats.Ms(c.Bar.Mean), stats.Ms(c.Bar.Min), stats.Ms(c.Bar.Max), c.Bar.N)
+		}
+	}
+	return b.String()
+}
+
+// CSV renders Figure 3 as site,domain,access,pool,share,n rows.
+func (r *Fig3Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("site,domain,access,pool,share,n\n")
+	for _, row := range r.Rows {
+		for _, pool := range r.PoolOrder[row.Site] {
+			fmt.Fprintf(&b, "%s,%s,%s,%q,%.4f,%d\n",
+				row.Site, row.Domain, row.Access, pool, row.Shares[pool], row.N)
+		}
+	}
+	return b.String()
+}
+
+// CSV renders Figure 5 as deployment,mean_ms,min_ms,max_ms,wireless_ms,
+// resolver_ms,air rows.
+func (r *Fig5Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("deployment,mean_ms,min_ms,max_ms,wireless_ms,resolver_ms,air\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%.3f,%.3f,%.3f,%.3f,%.3f,%s\n",
+			row.Key, stats.Ms(row.Bar.Mean), stats.Ms(row.Bar.Min), stats.Ms(row.Bar.Max),
+			stats.Ms(row.Wireless), stats.Ms(row.Resolver), r.Air)
+	}
+	return b.String()
+}
+
+// CSV renders the ECS comparison as deployment,baseline_ms,ecs_ms,
+// ratio,correct rows.
+func (r *ECSResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("deployment,baseline_ms,ecs_ms,ratio,correct\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%.3f,%.3f,%.4f,%t\n",
+			row.Key, stats.Ms(row.BaseMean), stats.Ms(row.ECSMean), row.Ratio, row.Correct)
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package geoip
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+func TestLookupLongestPrefix(t *testing.T) {
+	db := New()
+	db.Register(netip.MustParsePrefix("10.0.0.0/8"), Location{X: 1, Name: "broad"})
+	db.Register(netip.MustParsePrefix("10.1.0.0/16"), Location{X: 2, Name: "narrow"})
+	loc, ok := db.Lookup(netip.MustParseAddr("10.1.2.3"))
+	if !ok || loc.Name != "narrow" {
+		t.Errorf("lookup = %v %v", loc, ok)
+	}
+	loc, ok = db.Lookup(netip.MustParseAddr("10.200.0.1"))
+	if !ok || loc.Name != "broad" {
+		t.Errorf("lookup = %v %v", loc, ok)
+	}
+	if _, ok := db.Lookup(netip.MustParseAddr("192.0.2.1")); ok {
+		t.Error("unregistered address located")
+	}
+	if db.Len() != 2 {
+		t.Errorf("len = %d", db.Len())
+	}
+}
+
+func TestAccuracyPerturbation(t *testing.T) {
+	db := New()
+	db.Accuracy = 0 // never exact
+	db.MaxError = 100
+	db.SetRand(rand.New(rand.NewSource(1)))
+	true_ := Location{X: 50, Y: 50, Name: "gw"}
+	db.Register(netip.MustParsePrefix("203.0.113.0/24"), true_)
+	perturbed := 0
+	for i := 0; i < 100; i++ {
+		loc, ok := db.Lookup(netip.MustParseAddr("203.0.113.9"))
+		if !ok {
+			t.Fatal("lookup failed")
+		}
+		if d := loc.DistanceTo(true_); d > 0 {
+			perturbed++
+			if d > 100.0001 {
+				t.Fatalf("perturbation %v exceeds MaxError", d)
+			}
+		}
+	}
+	if perturbed < 90 {
+		t.Errorf("only %d/100 lookups perturbed with Accuracy=0", perturbed)
+	}
+}
+
+func TestFullAccuracyExact(t *testing.T) {
+	db := New()
+	db.SetRand(rand.New(rand.NewSource(2)))
+	want := Location{X: 10, Y: 20, Name: "exact"}
+	db.Register(netip.MustParsePrefix("198.51.100.0/24"), want)
+	for i := 0; i < 50; i++ {
+		loc, _ := db.Lookup(netip.MustParseAddr("198.51.100.77"))
+		if loc != want {
+			t.Fatalf("accurate lookup perturbed: %v", loc)
+		}
+	}
+}
+
+func TestDistanceAndString(t *testing.T) {
+	a := Location{X: 0, Y: 0}
+	b := Location{X: 3, Y: 4}
+	if d := a.DistanceTo(b); d != 5 {
+		t.Errorf("distance = %v", d)
+	}
+	if (Location{Name: "atl"}).String() != "atl" {
+		t.Error("named location string")
+	}
+	if (Location{X: 1.5, Y: 2.5}).String() != "(1.5,2.5)" {
+		t.Errorf("coordinate string = %s", Location{X: 1.5, Y: 2.5}.String())
+	}
+}

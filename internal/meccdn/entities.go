@@ -1,0 +1,86 @@
+package meccdn
+
+import "fmt"
+
+// Role is one of the MEC-CDN ecosystem roles of the paper's Table 2.
+type Role int
+
+// Ecosystem roles.
+const (
+	RoleCellularProvider Role = iota
+	RoleCDNProvider
+	RoleDNSProvider
+	RoleWebProvider
+	RoleCloudProvider
+	RoleCDNBroker
+	RoleMECProvider
+)
+
+// roleInfo carries the Table 2 row for each role.
+var roleInfo = map[Role]struct{ name, duty string }{
+	RoleCellularProvider: {"Cellular Provider", "Operating RAN and cellular core network"},
+	RoleCDNProvider:      {"CDN Provider", "Providing content caches on CDN domains hosted on some server nodes"},
+	RoleDNSProvider:      {"DNS Provider", "Routing requests to closest CDN domain servers"},
+	RoleWebProvider:      {"Web Provider", "Delivering web services that use CDNs to provide better services to end users"},
+	RoleCloudProvider:    {"Cloud Provider", "Providing server infrastructure to one or more of the above"},
+	RoleCDNBroker:        {"CDN Broker", "Providing a consolidated service spanning multiple CDNs to CDN customers"},
+	RoleMECProvider:      {"MEC Provider", "Providing MEC servers that host CDN domains"},
+}
+
+// AllRoles lists every role in Table 2 order.
+func AllRoles() []Role {
+	return []Role{
+		RoleCellularProvider, RoleCDNProvider, RoleDNSProvider,
+		RoleWebProvider, RoleCloudProvider, RoleCDNBroker, RoleMECProvider,
+	}
+}
+
+// String returns the role's display name.
+func (r Role) String() string {
+	if info, ok := roleInfo[r]; ok {
+		return info.name
+	}
+	return fmt.Sprintf("role(%d)", int(r))
+}
+
+// Duty returns the role's responsibility as described in Table 2.
+func (r Role) Duty() string {
+	if info, ok := roleInfo[r]; ok {
+		return info.duty
+	}
+	return ""
+}
+
+// Entity is one participant in the ecosystem. As the paper notes, a
+// single entity can subsume several roles — Verizon acts as cellular,
+// DNS, and CDN provider at once — which is exactly what obscures "who
+// owns performance".
+type Entity struct {
+	Name  string
+	Roles []Role
+}
+
+// HasRole reports whether the entity plays r.
+func (e Entity) HasRole(r Role) bool {
+	for _, have := range e.Roles {
+		if have == r {
+			return true
+		}
+	}
+	return false
+}
+
+// PerformanceOwners returns the entities that influence the DNS → CDN
+// resolution path: every entity holding a DNS, CDN, broker, or MEC
+// role. When more than one entity shares those roles, accountability
+// is fragmented — the paper's "invisible performance owners".
+func PerformanceOwners(entities []Entity) []Entity {
+	var owners []Entity
+	for _, e := range entities {
+		if e.HasRole(RoleDNSProvider) || e.HasRole(RoleCDNProvider) ||
+			e.HasRole(RoleCDNBroker) || e.HasRole(RoleMECProvider) {
+			owners = append(owners, e)
+		}
+	}
+	return owners
+}

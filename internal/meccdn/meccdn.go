@@ -1,0 +1,444 @@
+// Package meccdn assembles the paper's MEC-CDN design: a CDN whose
+// DNS resolution is fully contained at the mobile edge.
+//
+// DeploySite stands up, on an lte.Testbed, everything Figure 4 shows:
+//
+//   - a Kubernetes-style orchestrator (internal/orchestrator) whose
+//     service registry feeds a split-namespace DNS;
+//   - the MEC L-DNS (CoreDNS role): one plugin chain serving the
+//     internal VNF namespace to cluster clients and the public
+//     MEC-CDN namespace to UEs, with a stub-domain route handing the
+//     CDN domain to the collocated C-DNS (P1: find a cache quickly);
+//   - the C-DNS (ATC Traffic Router role): scoped to the edge site's
+//     cache instances, selecting one that has the content (P2: find
+//     the right cache);
+//   - edge cache servers behind stable cluster IPs, so mobile clients
+//     only ever see Kubernetes cluster IPs (public-IP reuse);
+//   - ingress-load shedding that switches to the provider L-DNS above
+//     a threshold (DoS mitigation);
+//   - an optional client-side multicast/fallback policy for non-MEC
+//     names (best-effort resolution).
+package meccdn
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/cdn"
+	"github.com/meccdn/meccdn/internal/dnsclient"
+	"github.com/meccdn/meccdn/internal/dnsserver"
+	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/geoip"
+	"github.com/meccdn/meccdn/internal/lte"
+	"github.com/meccdn/meccdn/internal/orchestrator"
+	"github.com/meccdn/meccdn/internal/simnet"
+)
+
+// SiteConfig parameterizes DeploySite.
+type SiteConfig struct {
+	// Domain is the CDN domain deployed at this MEC site, e.g.
+	// "mycdn.ciab.test.". Required.
+	Domain string
+	// PublicDomain is the MEC public namespace for non-CDN MEC apps;
+	// "" means "mec.example.".
+	PublicDomain string
+	// CacheServers is the number of edge cache instances; 0 means 2.
+	CacheServers int
+	// CacheCapacity is each instance's byte budget; 0 means 64 MiB.
+	CacheCapacity int64
+	// OriginAddr, when valid, is where cache misses are filled from.
+	OriginAddr netip.Addr
+	// Policy selects cache servers at the C-DNS; nil means
+	// availability-first.
+	Policy cdn.SelectionPolicy
+	// Geo, when non-nil, localizes clients for geo policies.
+	Geo *geoip.DB
+	// ProviderLDNS is the mobile network's own L-DNS; used as the
+	// load-shed fallback and for non-MEC names.
+	ProviderLDNS netip.AddrPort
+	// MaxIngressQPS bounds MEC DNS ingress before shedding to the
+	// provider L-DNS; 0 disables shedding.
+	MaxIngressQPS int
+	// EnableECS attaches EDNS Client Subnet at the L-DNS when
+	// forwarding to the C-DNS (the paper's §4 ECS experiment).
+	EnableECS bool
+	// ECSProcessing is the extra per-query processing cost ECS adds
+	// at each DNS hop; zero means 60µs.
+	ECSProcessing time.Duration
+	// LDNSProcessing is CoreDNS's per-query processing time; nil
+	// means ~300µs.
+	LDNSProcessing simnet.Sampler
+	// CDNSProcessing is the Traffic Router's per-query processing
+	// time; nil means ~700µs (ATC does content-aware selection).
+	CDNSProcessing simnet.Sampler
+	// NamePrefix distinguishes multiple sites on one testbed.
+	NamePrefix string
+}
+
+// Site is a deployed MEC-CDN edge site.
+type Site struct {
+	// Orch is the site's cluster control plane.
+	Orch *orchestrator.Orchestrator
+	// LDNS is the MEC DNS address UEs are switched to on attach:
+	// the cluster IP of the CoreDNS service.
+	LDNS netip.AddrPort
+	// CDNS is the cluster IP of the collocated CDN router.
+	CDNS netip.AddrPort
+	// Router is the C-DNS selection engine.
+	Router *cdn.Router
+	// Caches are the edge cache instances.
+	Caches []*cdn.CacheServer
+	// CacheServices front each cache instance with a cluster IP.
+	CacheServices []*orchestrator.Service
+	// MsgCache is the L-DNS response cache.
+	MsgCache *dnsserver.Cache
+	// Metrics counts queries at the MEC L-DNS public view.
+	Metrics *dnsserver.Metrics
+	// Shed is the ingress load shedder (nil when disabled).
+	Shed *dnsserver.LoadShed
+	// PublicZone holds non-CDN public MEC names.
+	PublicZone *dnsserver.Zone
+
+	cfg       SiteConfig
+	tb        *lte.Testbed
+	nextCache int
+
+	stub     *dnsserver.Stub
+	tenants  map[string]*DomainDeployment
+	nextTent int
+}
+
+// DomainDeployment is one CDN customer domain hosted at the site: its
+// own C-DNS scope and cache instances, sharing the MEC L-DNS (and so
+// the site's single public ingress IP) with every other tenant.
+type DomainDeployment struct {
+	Domain        string
+	Router        *cdn.Router
+	Caches        []*cdn.CacheServer
+	CacheServices []*orchestrator.Service
+	// CDNS is the tenant router's stable cluster IP.
+	CDNS netip.AddrPort
+
+	cdnsService *orchestrator.Service
+}
+
+// DeploySite builds a complete MEC-CDN edge site on tb.
+func DeploySite(tb *lte.Testbed, cfg SiteConfig) (*Site, error) {
+	if cfg.Domain == "" {
+		return nil, fmt.Errorf("meccdn: SiteConfig.Domain is required")
+	}
+	cfg.Domain = dnswire.CanonicalName(cfg.Domain)
+	if cfg.PublicDomain == "" {
+		cfg.PublicDomain = "mec.example."
+	}
+	cfg.PublicDomain = dnswire.CanonicalName(cfg.PublicDomain)
+	if cfg.CacheServers <= 0 {
+		cfg.CacheServers = 2
+	}
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = 64 << 20
+	}
+	if cfg.LDNSProcessing == nil {
+		cfg.LDNSProcessing = simnet.Shifted{Base: 250 * time.Microsecond, Jitter: simnet.Uniform{Max: 100 * time.Microsecond}}
+	}
+	if cfg.CDNSProcessing == nil {
+		cfg.CDNSProcessing = simnet.Shifted{Base: 600 * time.Microsecond, Jitter: simnet.Uniform{Max: 200 * time.Microsecond}}
+	}
+	if cfg.ECSProcessing == 0 {
+		cfg.ECSProcessing = 60 * time.Microsecond
+	}
+
+	prefix := cfg.NamePrefix
+	net := tb.Net
+	orch, err := orchestrator.New(orchestrator.Config{
+		Net:        net,
+		FabricNode: lte.NodePGW,
+		PodDelay:   tb.Cfg.MECDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	site := &Site{Orch: orch, cfg: cfg, tb: tb}
+
+	// Public namespace zone, fed by the orchestrator.
+	site.PublicZone = dnsserver.NewZone(cfg.PublicDomain)
+	orch.SetPublicZone(site.PublicZone)
+
+	// Edge cache instances, each on its own MEC node, each fronted by
+	// a Service so DNS answers carry cluster IPs only.
+	site.Router = cdn.NewRouter(cfg.Domain)
+	site.Router.Policy = cfg.Policy
+	site.Router.Geo = cfg.Geo
+	for i := 0; i < cfg.CacheServers; i++ {
+		if _, err := site.AddCache(); err != nil {
+			return nil, err
+		}
+	}
+
+	// C-DNS: the Traffic Router, collocated at MEC, scoped to this
+	// site's caches, fronted by a fixed cluster IP.
+	cdnsNode := tb.AddMEC(prefix + "mec-cdns")
+	cdnsProc := cfg.CDNSProcessing
+	if cfg.EnableECS {
+		cdnsProc = simnet.Shifted{Base: cfg.ECSProcessing, Jitter: cdnsProc}
+	}
+	dnsserver.Attach(cdnsNode, dnsserver.Chain(site.Router), cdnsProc)
+	cdnsSvc, err := orch.CreateService(orchestrator.ServiceSpec{
+		Name:      prefix + "cdn-traffic-router",
+		Namespace: "cdn",
+		Endpoints: []netip.Addr{cdnsNode.Addr},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("creating C-DNS service: %w", err)
+	}
+	site.CDNS = netip.AddrPortFrom(cdnsSvc.ClusterIP, 53)
+
+	// MEC L-DNS (CoreDNS): split namespaces, stub-domain to C-DNS.
+	ldnsNode := tb.AddMEC(prefix + "mec-ldns")
+	upClient := &dnsclient.Client{Transport: &dnsclient.SimTransport{Endpoint: ldnsNode.Endpoint()}}
+	upClient.SetRand(net.Rand())
+
+	site.stub = dnsserver.NewStub(upClient)
+	site.stub.Route(cfg.Domain, site.CDNS)
+
+	site.MsgCache = dnsserver.NewCache(net.Clock)
+	site.Metrics = dnsserver.NewMetrics()
+
+	publicPlugins := []dnsserver.Plugin{site.Metrics}
+	if cfg.MaxIngressQPS > 0 {
+		site.Shed = &dnsserver.LoadShed{
+			Clock:      net.Clock,
+			MaxQueries: cfg.MaxIngressQPS,
+			Window:     time.Second,
+		}
+		if cfg.ProviderLDNS.IsValid() {
+			site.Shed.Fallback = dnsserver.Chain(&dnsserver.Forward{
+				Upstreams: []netip.AddrPort{cfg.ProviderLDNS},
+				Client:    upClient,
+			})
+		}
+		publicPlugins = append(publicPlugins, site.Shed)
+	}
+	if cfg.EnableECS {
+		publicPlugins = append(publicPlugins, &dnsserver.ECS{})
+	}
+	publicPlugins = append(publicPlugins,
+		site.MsgCache,
+		site.stub,
+		dnsserver.NewZonePlugin(site.PublicZone),
+	)
+	if cfg.ProviderLDNS.IsValid() {
+		// Non-MEC names are forwarded upstream so the MEC DNS can be
+		// the UE's only resolver (the server-side workaround of §3).
+		publicPlugins = append(publicPlugins, &dnsserver.Forward{
+			Upstreams: []netip.AddrPort{cfg.ProviderLDNS},
+			Client:    upClient,
+		})
+	}
+
+	clusterCIDR := netip.MustParsePrefix("10.96.0.0/16")
+	split := &dnsserver.Split{
+		IsInternal: func(a netip.Addr) bool { return clusterCIDR.Contains(a) },
+		Internal:   dnsserver.Chain(dnsserver.NewZonePlugin(orch.InternalZone())),
+		Public:     dnsserver.Chain(publicPlugins...),
+	}
+	ldnsProc := cfg.LDNSProcessing
+	if cfg.EnableECS {
+		ldnsProc = simnet.Shifted{Base: cfg.ECSProcessing, Jitter: ldnsProc}
+	}
+	dnsserver.Attach(ldnsNode, dnsserver.Chain(split), ldnsProc)
+	ldnsSvc, err := orch.CreateService(orchestrator.ServiceSpec{
+		Name:      prefix + "coredns",
+		Namespace: "kube-system",
+		Endpoints: []netip.Addr{ldnsNode.Addr},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("creating CoreDNS service: %w", err)
+	}
+	site.LDNS = netip.AddrPortFrom(ldnsSvc.ClusterIP, 53)
+	return site, nil
+}
+
+// AddCache scales the site up by one cache instance: a new MEC node,
+// a fronting Service with a fresh stable cluster IP, and registration
+// with the C-DNS. Routing via the consistent-hash ring means only
+// ~1/N of the content mapping moves.
+func (s *Site) AddCache() (*cdn.CacheServer, error) {
+	i := s.nextCache
+	s.nextCache++
+	nodeName := fmt.Sprintf("%smec-cache-%d", s.cfg.NamePrefix, i)
+	node := s.tb.AddMEC(nodeName)
+	server := cdn.NewCacheServer(node, cdn.CacheServerConfig{
+		Name:          nodeName,
+		Site:          s.cfg.NamePrefix + "mec",
+		Tier:          cdn.TierEdge,
+		CapacityBytes: s.cfg.CacheCapacity,
+		Parent:        s.cfg.OriginAddr,
+		Domains:       []string{s.cfg.Domain},
+		ServeDelay:    simnet.Shifted{Base: 200 * time.Microsecond, Jitter: simnet.Uniform{Max: 100 * time.Microsecond}},
+	})
+	svc, err := s.Orch.CreateService(orchestrator.ServiceSpec{
+		Name:      fmt.Sprintf("%scache-%d", s.cfg.NamePrefix, i),
+		Namespace: "cdn",
+		Endpoints: []netip.Addr{node.Addr},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("creating cache service %d: %w", i, err)
+	}
+	s.Router.AddServerAdvertise(server, geoip.Location{Name: s.cfg.NamePrefix + "mec"}, svc.ClusterIP)
+	s.Caches = append(s.Caches, server)
+	s.CacheServices = append(s.CacheServices, svc)
+	return server, nil
+}
+
+// RemoveCache scales the site down by one instance (the most recently
+// added): it is deregistered from the C-DNS, its Service deleted, and
+// the server marked unhealthy so in-flight routing skips it.
+func (s *Site) RemoveCache() error {
+	if len(s.Caches) == 0 {
+		return fmt.Errorf("meccdn: no cache instances to remove")
+	}
+	i := len(s.Caches) - 1
+	server, svc := s.Caches[i], s.CacheServices[i]
+	s.Caches, s.CacheServices = s.Caches[:i], s.CacheServices[:i]
+	s.Router.RemoveServer(server.Name)
+	server.SetHealthy(false)
+	if err := s.Orch.DeleteService(svc.Namespace, svc.Name); err != nil {
+		return fmt.Errorf("deleting cache service: %w", err)
+	}
+	return nil
+}
+
+// AddDomain deploys another CDN customer's domain at the site: a
+// tenant-scoped C-DNS behind its own cluster IP, cache instances, and
+// a stub-domain route at the shared MEC L-DNS. Every tenant shares
+// the site's single public ingress — the §3/§5 IP-reuse property at
+// work ("assigning the same public IP for CDN domains of the many CDN
+// customers").
+func (s *Site) AddDomain(domain string, originAddr netip.Addr, cacheServers int) (*DomainDeployment, error) {
+	domain = dnswire.CanonicalName(domain)
+	if s.tenants == nil {
+		s.tenants = make(map[string]*DomainDeployment)
+	}
+	if domain == s.cfg.Domain {
+		return nil, fmt.Errorf("meccdn: %s is the site's primary domain", domain)
+	}
+	if _, exists := s.tenants[domain]; exists {
+		return nil, fmt.Errorf("meccdn: domain %s already deployed", domain)
+	}
+	if cacheServers <= 0 {
+		cacheServers = 1
+	}
+	s.nextTent++
+	tag := fmt.Sprintf("%stenant%d-", s.cfg.NamePrefix, s.nextTent)
+
+	dep := &DomainDeployment{Domain: domain, Router: cdn.NewRouter(domain)}
+	dep.Router.Policy = s.cfg.Policy
+	dep.Router.Geo = s.cfg.Geo
+	for i := 0; i < cacheServers; i++ {
+		nodeName := fmt.Sprintf("%scache-%d", tag, i)
+		node := s.tb.AddMEC(nodeName)
+		server := cdn.NewCacheServer(node, cdn.CacheServerConfig{
+			Name:          nodeName,
+			Site:          s.cfg.NamePrefix + "mec",
+			Tier:          cdn.TierEdge,
+			CapacityBytes: s.cfg.CacheCapacity,
+			Parent:        originAddr,
+			Domains:       []string{domain},
+			ServeDelay:    simnet.Shifted{Base: 200 * time.Microsecond, Jitter: simnet.Uniform{Max: 100 * time.Microsecond}},
+		})
+		svc, err := s.Orch.CreateService(orchestrator.ServiceSpec{
+			Name:      nodeName,
+			Namespace: "cdn",
+			Endpoints: []netip.Addr{node.Addr},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("creating tenant cache service: %w", err)
+		}
+		dep.Router.AddServerAdvertise(server, geoip.Location{Name: s.cfg.NamePrefix + "mec"}, svc.ClusterIP)
+		dep.Caches = append(dep.Caches, server)
+		dep.CacheServices = append(dep.CacheServices, svc)
+	}
+
+	cdnsNode := s.tb.AddMEC(tag + "cdns")
+	dnsserver.Attach(cdnsNode, dnsserver.Chain(dep.Router), s.cfg.CDNSProcessing)
+	svc, err := s.Orch.CreateService(orchestrator.ServiceSpec{
+		Name:      tag + "traffic-router",
+		Namespace: "cdn",
+		Endpoints: []netip.Addr{cdnsNode.Addr},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("creating tenant C-DNS service: %w", err)
+	}
+	dep.CDNS = netip.AddrPortFrom(svc.ClusterIP, 53)
+	dep.cdnsService = svc
+	s.stub.Route(domain, dep.CDNS)
+	s.tenants[domain] = dep
+	return dep, nil
+}
+
+// RemoveDomain tears a tenant down: its stub route, services, and
+// C-DNS registration disappear; queries for the domain fall through
+// to the provider path (or REFUSED).
+func (s *Site) RemoveDomain(domain string) error {
+	domain = dnswire.CanonicalName(domain)
+	dep, ok := s.tenants[domain]
+	if !ok {
+		return fmt.Errorf("meccdn: domain %s not deployed", domain)
+	}
+	delete(s.tenants, domain)
+	s.stub.Unroute(domain)
+	for _, server := range dep.Caches {
+		dep.Router.RemoveServer(server.Name)
+		server.SetHealthy(false)
+	}
+	for _, svc := range dep.CacheServices {
+		if err := s.Orch.DeleteService(svc.Namespace, svc.Name); err != nil {
+			return err
+		}
+	}
+	if dep.cdnsService != nil {
+		if err := s.Orch.DeleteService(dep.cdnsService.Namespace, dep.cdnsService.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tenant returns the deployment for a hosted customer domain, or nil.
+func (s *Site) Tenant(domain string) *DomainDeployment {
+	return s.tenants[dnswire.CanonicalName(domain)]
+}
+
+// Warm preloads content onto the cache instance the router's hash
+// ring assigns it to, emulating orchestrated pre-positioning.
+func (s *Site) Warm(contents ...cdn.Content) {
+	byName := make(map[string]*cdn.CacheServer, len(s.Caches))
+	for _, c := range s.Caches {
+		byName[c.Name] = c
+	}
+	for _, content := range contents {
+		owner := s.Router.Ring.Owner(content.Name)
+		if server := byName[owner]; server != nil {
+			server.Warm(content)
+		}
+	}
+}
+
+// Domain returns the site's CDN domain.
+func (s *Site) Domain() string { return s.cfg.Domain }
+
+// HitRatio aggregates the cache instances' hit ratios.
+func (s *Site) HitRatio() float64 {
+	var hits, total uint64
+	for _, c := range s.Caches {
+		st := c.Cache().Stats()
+		hits += st.Hits
+		total += st.Hits + st.Misses
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

@@ -1,0 +1,144 @@
+package meccdn
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/cdn"
+	"github.com/meccdn/meccdn/internal/dnsclient"
+	"github.com/meccdn/meccdn/internal/dnsserver"
+	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/orchestrator"
+)
+
+const tenantDomain = "othercdn.example."
+
+func TestMultiTenantSite(t *testing.T) {
+	d := deploy(t, 40, nil)
+	dep, err := d.site.AddDomain(tenantDomain, d.tb.Net.Node("origin").Addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dep.Caches) != 2 || !dep.CDNS.IsValid() {
+		t.Fatalf("deployment = %+v", dep)
+	}
+	// Publish tenant content at the shared origin so fills work.
+	// (The test origin only carries the primary catalog; the tenant
+	// lookup itself is DNS-level, so warm the cache directly.)
+	obj := "img.site." + tenantDomain
+	owner := dep.Router.Ring.Owner(obj)
+	for _, c := range dep.Caches {
+		if c.Name == owner {
+			c.Warm(cdn.Content{Name: obj, Size: 64})
+		}
+	}
+
+	// Both domains resolve through the SAME MEC DNS address: that is
+	// the single shared public ingress.
+	resPrimary, err := d.ue.Resolve("video.demo1." + testDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resTenant, err := d.ue.Resolve(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resPrimary.Addr.IsValid() || !resTenant.Addr.IsValid() {
+		t.Fatalf("resolutions: primary=%v tenant=%v", resPrimary.Addr, resTenant.Addr)
+	}
+	if resPrimary.Addr == resTenant.Addr {
+		t.Error("tenants share a cache service IP; scopes must be separate")
+	}
+	// Tenant isolation: the primary router must not know tenant
+	// servers and vice versa.
+	if d.site.Router.Route(obj, cdn.ClientInfo{}) != nil &&
+		d.site.Router.Route(obj, cdn.ClientInfo{}).Server.Name == owner {
+		t.Error("primary router routed tenant content to tenant server")
+	}
+	if got := d.site.Tenant(tenantDomain); got != dep {
+		t.Error("Tenant lookup failed")
+	}
+	if _, err := d.site.AddDomain(tenantDomain, d.tb.Net.Node("origin").Addr, 1); err == nil {
+		t.Error("duplicate tenant accepted")
+	}
+	if _, err := d.site.AddDomain(testDomain, d.tb.Net.Node("origin").Addr, 1); err == nil {
+		t.Error("primary domain accepted as tenant")
+	}
+}
+
+// TestPublicZoneReplication slaves the site's public namespace to the
+// provider L-DNS over a real zone transfer, the replication step a
+// provider needs to answer MEC names itself during MEC DNS outages.
+func TestPublicZoneReplication(t *testing.T) {
+	d := deploy(t, 42, nil)
+	// Put something in the public zone (a non-CDN MEC app).
+	if _, err := d.site.Orch.CreateService(orchestratorSpec("mec-app", "apps", "app.mec.example.")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve transfers of the public zone from a MEC node.
+	zp := dnsserver.NewZonePlugin(d.site.PublicZone)
+	axfrNode := d.tb.AddMEC("axfr-endpoint")
+	dnsserver.Attach(axfrNode, dnsserver.Chain(dnsserver.NewAXFR(zp), zp), nil)
+
+	// The provider pulls the zone over the virtual network.
+	provClient := &dnsclient.Client{Transport: &dnsclient.SimTransport{
+		Endpoint: d.tb.Net.Node("provider-ldns").Endpoint()}}
+	provClient.SetRand(d.tb.Net.Rand())
+	rrs, err := provClient.Transfer(context.Background(),
+		netip.AddrPortFrom(axfrNode.Addr, 53), "mec.example.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondary, err := dnsserver.ZoneFromTransfer(rrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ans, _ := secondary.Lookup("app.mec.example.", dnswire.TypeA)
+	if res != dnsserver.LookupSuccess || len(ans) != 1 {
+		t.Errorf("replicated lookup: %v %v", res, ans)
+	}
+	// The replicated answer is the same cluster IP the primary serves.
+	wantRes, wantAns, _ := d.site.PublicZone.Lookup("app.mec.example.", dnswire.TypeA)
+	if wantRes != dnsserver.LookupSuccess ||
+		ans[0].(*dnswire.A).Addr != wantAns[0].(*dnswire.A).Addr {
+		t.Error("secondary diverges from primary")
+	}
+}
+
+func orchestratorSpec(name, ns, public string) orchestrator.ServiceSpec {
+	return orchestrator.ServiceSpec{Name: name, Namespace: ns, PublicName: public}
+}
+
+func TestRemoveDomain(t *testing.T) {
+	d := deploy(t, 41, nil)
+	if _, err := d.site.AddDomain(tenantDomain, d.tb.Net.Node("origin").Addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	before, err := d.ue.Resolve("x." + tenantDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !before.Addr.IsValid() {
+		t.Fatal("tenant did not resolve before removal")
+	}
+	if err := d.site.RemoveDomain(tenantDomain); err != nil {
+		t.Fatal(err)
+	}
+	if d.site.Tenant(tenantDomain) != nil {
+		t.Error("tenant still listed")
+	}
+	// Let the L-DNS message cache expire the old answer.
+	d.tb.Net.Clock.RunUntil(d.tb.Net.Now() + time.Minute)
+	// The name now falls through to the provider path, which does
+	// not serve it: no address.
+	after, err := d.ue.Resolve("x." + tenantDomain)
+	if err == nil && after.Addr.IsValid() {
+		t.Errorf("removed tenant still resolves to %v", after.Addr)
+	}
+	if err := d.site.RemoveDomain(tenantDomain); err == nil {
+		t.Error("double removal succeeded")
+	}
+}

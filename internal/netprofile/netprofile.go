@@ -1,0 +1,70 @@
+// Package netprofile defines the access-network latency profiles for
+// the paper's §2 measurement study (Figure 2): the same device
+// querying DNS over a wired campus network, a home Wi-Fi network, and
+// a cellular hotspot. Profiles capture the client→L-DNS path and the
+// L-DNS's own processing; the cellular profile carries both the extra
+// distance to the opaque carrier L-DNS and the RAN's jitter, which is
+// what makes its bars tall and wide in the figure.
+package netprofile
+
+import (
+	"time"
+
+	"github.com/meccdn/meccdn/internal/simnet"
+)
+
+// Access describes one way a client reaches its Local DNS.
+type Access struct {
+	// Name is the figure label: "wired-campus", "wifi-home",
+	// "cellular-mobile".
+	Name string
+	// ToLDNS is the one-way client→L-DNS latency distribution.
+	ToLDNS simnet.Sampler
+	// Loss is the per-direction datagram loss probability.
+	Loss float64
+	// LDNSProcessing is the resolver's per-query processing time.
+	LDNSProcessing simnet.Sampler
+}
+
+// WiredCampus is a university network with the resolver a couple of
+// switch hops away.
+func WiredCampus() Access {
+	return Access{
+		Name:           "wired-campus",
+		ToLDNS:         simnet.Shifted{Base: 2 * time.Millisecond, Jitter: simnet.LogNormal{Median: 2 * time.Millisecond, Sigma: 0.45, Max: 60 * time.Millisecond}},
+		Loss:           0,
+		LDNSProcessing: simnet.Shifted{Base: 1 * time.Millisecond, Jitter: simnet.Uniform{Max: 1 * time.Millisecond}},
+	}
+}
+
+// WifiHome is a residential connection: Wi-Fi contention plus an ISP
+// resolver beyond the access network.
+func WifiHome() Access {
+	return Access{
+		Name:           "wifi-home",
+		ToLDNS:         simnet.Shifted{Base: 4 * time.Millisecond, Jitter: simnet.LogNormal{Median: 4 * time.Millisecond, Sigma: 0.55, Max: 90 * time.Millisecond}},
+		Loss:           0.002,
+		LDNSProcessing: simnet.Shifted{Base: 1 * time.Millisecond, Jitter: simnet.Uniform{Max: 2 * time.Millisecond}},
+	}
+}
+
+// CellularMobile is a phone hotspot: the RAN's scheduling delay plus
+// the long, opaque path to the carrier's L-DNS behind the core
+// network. Substantially higher delay and far higher variability —
+// the paper's Observation 1.
+func CellularMobile() Access {
+	return Access{
+		Name: "cellular-mobile",
+		ToLDNS: simnet.Shifted{
+			Base:   14 * time.Millisecond,
+			Jitter: simnet.LogNormal{Median: 11 * time.Millisecond, Sigma: 0.8, Max: 400 * time.Millisecond},
+		},
+		Loss:           0.008,
+		LDNSProcessing: simnet.Shifted{Base: 2 * time.Millisecond, Jitter: simnet.Uniform{Max: 3 * time.Millisecond}},
+	}
+}
+
+// All returns the three Figure 2 access profiles in figure order.
+func All() []Access {
+	return []Access{WiredCampus(), WifiHome(), CellularMobile()}
+}

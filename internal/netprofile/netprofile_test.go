@@ -1,0 +1,74 @@
+package netprofile
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func meanOf(s interface {
+	Sample(*rand.Rand) time.Duration
+}, seed int64, n int) time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		total += s.Sample(rng)
+	}
+	return total / time.Duration(n)
+}
+
+func TestProfilesOrdering(t *testing.T) {
+	wired := meanOf(WiredCampus().ToLDNS, 1, 5000)
+	wifi := meanOf(WifiHome().ToLDNS, 1, 5000)
+	cell := meanOf(CellularMobile().ToLDNS, 1, 5000)
+	if !(wired < wifi && wifi < cell) {
+		t.Errorf("ordering violated: wired=%v wifi=%v cell=%v", wired, wifi, cell)
+	}
+	// Cellular must be substantially higher, per Observation 1.
+	if cell < 2*wifi {
+		t.Errorf("cellular %v not substantially above wifi %v", cell, wifi)
+	}
+}
+
+func TestCellularVariability(t *testing.T) {
+	spread := func(p Access) time.Duration {
+		rng := rand.New(rand.NewSource(2))
+		min, max := time.Hour, time.Duration(0)
+		for i := 0; i < 5000; i++ {
+			d := p.ToLDNS.Sample(rng)
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		return max - min
+	}
+	if spread(CellularMobile()) <= spread(WiredCampus()) {
+		t.Error("cellular spread not above wired")
+	}
+}
+
+func TestAllProfiles(t *testing.T) {
+	all := All()
+	if len(all) != 3 {
+		t.Fatalf("profiles = %d", len(all))
+	}
+	want := []string{"wired-campus", "wifi-home", "cellular-mobile"}
+	for i, p := range all {
+		if p.Name != want[i] {
+			t.Errorf("profile %d = %s, want %s", i, p.Name, want[i])
+		}
+		if p.ToLDNS == nil || p.LDNSProcessing == nil {
+			t.Errorf("profile %s has nil samplers", p.Name)
+		}
+		if p.Loss < 0 || p.Loss > 0.05 {
+			t.Errorf("profile %s loss = %v", p.Name, p.Loss)
+		}
+	}
+	// Loss must not decrease as networks get flakier.
+	if all[0].Loss > all[1].Loss || all[1].Loss > all[2].Loss {
+		t.Error("loss ordering violated")
+	}
+}

@@ -1,0 +1,375 @@
+// Package orchestrator reimplements the slice of Kubernetes the
+// paper's prototype relies on: Services with stable cluster IPs and
+// round-robin endpoint proxying (kube-proxy), Deployments that scale
+// instances up and down, and a service registry that feeds the
+// split-namespace DNS zones — the orchestrator's "dedicated, internal
+// DNS" that the MEC-CDN design re-purposes for public CDN resolution.
+//
+// The cluster-IP indirection is also the paper's public-IP reuse
+// mechanism (§3/§5): every MEC-CDN customer domain resolves to a
+// cluster IP, so the MEC site needs no per-customer public addresses.
+package orchestrator
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/dnsserver"
+	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/simnet"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Net is the simulator the cluster lives in; required.
+	Net *simnet.Network
+	// FabricNode is the node the pod network hangs off (typically the
+	// P-GW or a dedicated switch node); required.
+	FabricNode string
+	// ClusterCIDR is the service IP range; zero value means
+	// 10.96.0.0/16 like a stock kubeadm cluster.
+	ClusterCIDR netip.Prefix
+	// ClusterDomain is the internal DNS suffix; "" means
+	// "cluster.local.".
+	ClusterDomain string
+	// PodDelay is the pod-network per-hop latency; nil means 100µs.
+	PodDelay simnet.Sampler
+}
+
+// Orchestrator is the cluster control plane.
+type Orchestrator struct {
+	cfg Config
+
+	mu       sync.Mutex
+	services map[string]*Service
+	nextIP   uint32
+
+	internalZone *dnsserver.Zone
+	publicZone   *dnsserver.Zone
+	publicNames  map[string]string // public FQDN → service key
+}
+
+// New creates an empty cluster.
+func New(cfg Config) (*Orchestrator, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("orchestrator: nil network")
+	}
+	if cfg.Net.Node(cfg.FabricNode) == nil {
+		return nil, fmt.Errorf("orchestrator: fabric node %q does not exist", cfg.FabricNode)
+	}
+	if !cfg.ClusterCIDR.IsValid() {
+		cfg.ClusterCIDR = netip.MustParsePrefix("10.96.0.0/16")
+	}
+	if cfg.ClusterDomain == "" {
+		cfg.ClusterDomain = "cluster.local."
+	}
+	cfg.ClusterDomain = dnswire.CanonicalName(cfg.ClusterDomain)
+	if cfg.PodDelay == nil {
+		cfg.PodDelay = simnet.Constant(100 * time.Microsecond)
+	}
+	return &Orchestrator{
+		cfg:          cfg,
+		services:     make(map[string]*Service),
+		internalZone: dnsserver.NewZone(cfg.ClusterDomain),
+		publicNames:  make(map[string]string),
+		nextIP:       1, // skip network address
+	}, nil
+}
+
+// InternalZone is the VNF service-discovery namespace: every service
+// is visible here as <name>.<namespace>.svc.<cluster-domain>.
+func (o *Orchestrator) InternalZone() *dnsserver.Zone { return o.internalZone }
+
+// SetPublicZone installs the publicly visible namespace zone; public
+// services are registered into it under their public FQDNs. The zone
+// is typically served by the MEC L-DNS public view.
+func (o *Orchestrator) SetPublicZone(z *dnsserver.Zone) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.publicZone = z
+}
+
+// Service is a stable virtual IP fronting a set of endpoints.
+type Service struct {
+	Name      string
+	Namespace string
+	ClusterIP netip.Addr
+
+	o    *Orchestrator
+	node *simnet.Node
+
+	mu        sync.Mutex
+	endpoints []netip.Addr
+	rr        uint64
+	forwarded uint64
+	failed    uint64
+}
+
+// ServiceSpec configures CreateService.
+type ServiceSpec struct {
+	Name      string
+	Namespace string // "" means "default"
+	// PublicName, when set, also registers the service in the public
+	// zone under this FQDN (the MEC-CDN exposure path).
+	PublicName string
+	// Endpoints are the initial backend addresses.
+	Endpoints []netip.Addr
+}
+
+func serviceKey(ns, name string) string { return ns + "/" + name }
+
+// CreateService allocates a cluster IP, starts the kube-proxy-style
+// forwarder on its own node, and registers DNS records.
+func (o *Orchestrator) CreateService(spec ServiceSpec) (*Service, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("orchestrator: service needs a name")
+	}
+	if spec.Namespace == "" {
+		spec.Namespace = "default"
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	key := serviceKey(spec.Namespace, spec.Name)
+	if _, exists := o.services[key]; exists {
+		return nil, fmt.Errorf("orchestrator: service %s already exists", key)
+	}
+	ip, err := o.allocateIPLocked()
+	if err != nil {
+		return nil, err
+	}
+	nodeName := "svc-" + spec.Namespace + "-" + spec.Name
+	node := o.cfg.Net.AddNodeAddr(nodeName, ip)
+	o.cfg.Net.AddLink(o.cfg.FabricNode, nodeName, o.cfg.PodDelay, 0)
+
+	svc := &Service{
+		Name:      spec.Name,
+		Namespace: spec.Namespace,
+		ClusterIP: ip,
+		o:         o,
+		node:      node,
+		endpoints: append([]netip.Addr(nil), spec.Endpoints...),
+	}
+	node.SetHandler(simnet.HandlerFunc(svc.proxy))
+	o.services[key] = svc
+
+	fqdn := spec.Name + "." + spec.Namespace + ".svc." + o.cfg.ClusterDomain
+	if err := o.internalZone.AddA(fqdn, 30, ip); err != nil {
+		return nil, fmt.Errorf("registering %s: %w", fqdn, err)
+	}
+	if spec.PublicName != "" {
+		pub := dnswire.CanonicalName(spec.PublicName)
+		o.publicNames[pub] = key
+		if o.publicZone != nil {
+			if err := o.publicZone.AddA(pub, 30, ip); err != nil {
+				return nil, fmt.Errorf("registering public name %s: %w", pub, err)
+			}
+		}
+	}
+	return svc, nil
+}
+
+// DeleteService removes the service and its DNS records. The proxy
+// node stays in the topology (simnet nodes are permanent) but stops
+// answering, like a torn-down Service whose IP is not yet reused.
+func (o *Orchestrator) DeleteService(namespace, name string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	key := serviceKey(namespace, name)
+	svc, ok := o.services[key]
+	if !ok {
+		return fmt.Errorf("orchestrator: no service %s", key)
+	}
+	delete(o.services, key)
+	svc.node.SetHandler(nil)
+	fqdn := name + "." + namespace + ".svc." + o.cfg.ClusterDomain
+	o.internalZone.Remove(fqdn, dnswire.TypeA)
+	for pub, k := range o.publicNames {
+		if k == key {
+			delete(o.publicNames, pub)
+			if o.publicZone != nil {
+				o.publicZone.Remove(pub, dnswire.TypeA)
+			}
+		}
+	}
+	return nil
+}
+
+// Service returns the named service, or nil.
+func (o *Orchestrator) Service(namespace, name string) *Service {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.services[serviceKey(namespace, name)]
+}
+
+// Services lists service keys, sorted.
+func (o *Orchestrator) Services() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	keys := make([]string, 0, len(o.services))
+	for k := range o.services {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PublicIPReport quantifies the paper's IP-reuse benefit: with the
+// MEC-CDN design every public name shares the MEC DNS ingress (1
+// address); without it, each exposed service would need its own
+// public IP.
+func (o *Orchestrator) PublicIPReport() (withReuse, withoutReuse int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	exposed := len(o.publicNames)
+	if exposed == 0 {
+		return 0, 0
+	}
+	return 1, exposed
+}
+
+func (o *Orchestrator) allocateIPLocked() (netip.Addr, error) {
+	base := o.cfg.ClusterCIDR.Masked().Addr().As4()
+	for ; o.nextIP < 1<<16; o.nextIP++ {
+		candidate := netip.AddrFrom4([4]byte{base[0], base[1], byte(o.nextIP >> 8), byte(o.nextIP)})
+		if !o.cfg.ClusterCIDR.Contains(candidate) {
+			break
+		}
+		if o.cfg.Net.NodeByAddr(candidate) == nil {
+			o.nextIP++
+			return candidate, nil
+		}
+	}
+	return netip.Addr{}, fmt.Errorf("orchestrator: cluster CIDR %v exhausted", o.cfg.ClusterCIDR)
+}
+
+// proxy forwards a datagram to one endpoint (round-robin) and relays
+// the reply, like kube-proxy NATing a Service hit.
+func (s *Service) proxy(ctx *simnet.Ctx, dg simnet.Datagram) {
+	s.mu.Lock()
+	if len(s.endpoints) == 0 {
+		s.failed++
+		s.mu.Unlock()
+		return
+	}
+	target := s.endpoints[s.rr%uint64(len(s.endpoints))]
+	s.rr++
+	s.mu.Unlock()
+
+	// Forward with the client's address preserved, like kube-proxy
+	// DNAT: the backend (e.g. a split-horizon DNS) must see the real
+	// client, not the service IP.
+	resp, _, err := ctx.Node().Endpoint().ExchangeFrom(target, dg.Payload, 2*time.Second, dg.Client())
+	s.mu.Lock()
+	if err != nil {
+		s.failed++
+		s.mu.Unlock()
+		return
+	}
+	s.forwarded++
+	s.mu.Unlock()
+	ctx.Reply(resp, 0)
+}
+
+// AddEndpoint registers a backend address.
+func (s *Service) AddEndpoint(addr netip.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.endpoints {
+		if e == addr {
+			return
+		}
+	}
+	s.endpoints = append(s.endpoints, addr)
+}
+
+// RemoveEndpoint deregisters a backend address.
+func (s *Service) RemoveEndpoint(addr netip.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.endpoints[:0]
+	for _, e := range s.endpoints {
+		if e != addr {
+			kept = append(kept, e)
+		}
+	}
+	s.endpoints = kept
+}
+
+// Endpoints returns a copy of the backend list.
+func (s *Service) Endpoints() []netip.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]netip.Addr(nil), s.endpoints...)
+}
+
+// Stats returns forwarded and failed proxy counts.
+func (s *Service) Stats() (forwarded, failed uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.forwarded, s.failed
+}
+
+// Deployment manages N instances of a workload behind a Service,
+// scaling by calling the Create/Destroy hooks — in this repository the
+// hooks spin CDN cache servers up and down on fresh simnet nodes.
+type Deployment struct {
+	Name string
+	// Create builds instance i and returns its address.
+	Create func(i int) (netip.Addr, error)
+	// Destroy tears instance i down (optional).
+	Destroy func(i int, addr netip.Addr)
+	// Service receives endpoint updates (optional).
+	Service *Service
+
+	mu        sync.Mutex
+	instances []netip.Addr
+}
+
+// Scale adjusts the replica count, creating or destroying instances.
+func (d *Deployment) Scale(replicas int) error {
+	if replicas < 0 {
+		return fmt.Errorf("orchestrator: negative replicas")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.instances) < replicas {
+		i := len(d.instances)
+		addr, err := d.Create(i)
+		if err != nil {
+			return fmt.Errorf("scaling %s up to %d: %w", d.Name, replicas, err)
+		}
+		d.instances = append(d.instances, addr)
+		if d.Service != nil {
+			d.Service.AddEndpoint(addr)
+		}
+	}
+	for len(d.instances) > replicas {
+		i := len(d.instances) - 1
+		addr := d.instances[i]
+		d.instances = d.instances[:i]
+		if d.Service != nil {
+			d.Service.RemoveEndpoint(addr)
+		}
+		if d.Destroy != nil {
+			d.Destroy(i, addr)
+		}
+	}
+	return nil
+}
+
+// Replicas returns the current instance count.
+func (d *Deployment) Replicas() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.instances)
+}
+
+// Instances returns a copy of the instance addresses.
+func (d *Deployment) Instances() []netip.Addr {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]netip.Addr(nil), d.instances...)
+}

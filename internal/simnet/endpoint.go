@@ -1,0 +1,203 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// Errors returned by Exchange and Race.
+var (
+	ErrTimeout        = errors.New("simnet: exchange timed out")
+	ErrNoDestinations = errors.New("simnet: race needs at least one destination")
+)
+
+// Ctx is passed to a node's handler for one delivered datagram.
+type Ctx struct {
+	net  *Network
+	node *Node
+	req  Datagram
+}
+
+// Now returns the current virtual time.
+func (c *Ctx) Now() time.Duration { return c.net.Now() }
+
+// Node returns the handling node.
+func (c *Ctx) Node() *Node { return c.node }
+
+// Network returns the underlying network.
+func (c *Ctx) Network() *Network { return c.net }
+
+// Reply sends payload back to the requester after procDelay of
+// virtual processing time, correlated to the originating Exchange.
+func (c *Ctx) Reply(payload []byte, procDelay time.Duration) {
+	dg := Datagram{
+		Src:        c.node.Addr,
+		Dst:        c.req.Src,
+		Payload:    payload,
+		ExchangeID: c.req.ExchangeID,
+		Reply:      true,
+	}
+	c.net.Clock.Schedule(procDelay, func() {
+		// Replies to unknown addresses are silently dropped, like UDP.
+		_ = c.net.Send(dg)
+	})
+}
+
+// Endpoint issues synchronous exchanges from a node. The calling code
+// blocks in virtual time only: the event loop is pumped until the
+// reply arrives or the timeout fires. Handlers may use their node's
+// Endpoint to perform nested upstream exchanges.
+type Endpoint struct {
+	node *Node
+}
+
+// Endpoint returns a synchronous exchange facade bound to the node.
+func (n *Node) Endpoint() *Endpoint { return &Endpoint{node: n} }
+
+// pendingExchange tracks one outstanding Exchange.
+type pendingExchange struct {
+	done    bool
+	timeout bool
+	resp    Datagram
+	rtt     time.Duration
+}
+
+// deliverReply completes a pending exchange if the datagram matches
+// one; it reports whether the datagram was consumed.
+func (n *Network) deliverReply(dg Datagram) bool {
+	if !dg.Reply || dg.ExchangeID == 0 {
+		return false
+	}
+	p, ok := n.pending[dg.ExchangeID]
+	if !ok || p.done {
+		return false
+	}
+	p.done = true
+	p.resp = dg
+	return true
+}
+
+// Exchange sends payload to dst and waits (in virtual time) for the
+// correlated reply. It returns the reply payload and the measured
+// round-trip time. Loss anywhere on the path surfaces as ErrTimeout.
+func (e *Endpoint) Exchange(dst netip.Addr, payload []byte, timeout time.Duration) ([]byte, time.Duration, error) {
+	return e.ExchangeFrom(dst, payload, timeout, netip.Addr{})
+}
+
+// ExchangeFrom is Exchange for source-preserving proxies: origSrc is
+// recorded as the datagram's originating client so the destination
+// sees who the proxy is relaying for.
+func (e *Endpoint) ExchangeFrom(dst netip.Addr, payload []byte, timeout time.Duration, origSrc netip.Addr) ([]byte, time.Duration, error) {
+	n := e.node.net
+	if n.pending == nil {
+		n.pending = make(map[uint64]*pendingExchange)
+	}
+	n.nextExchange++
+	id := n.nextExchange
+	p := &pendingExchange{}
+	n.pending[id] = p
+	defer delete(n.pending, id)
+
+	start := n.Now()
+	dg := Datagram{Src: e.node.Addr, Dst: dst, Payload: payload, ExchangeID: id, OrigSrc: origSrc}
+	if err := n.Send(dg); err != nil {
+		return nil, 0, fmt.Errorf("exchange to %v: %w", dst, err)
+	}
+	timer := n.Clock.Schedule(timeout, func() { p.timeout = true })
+	n.Clock.RunWhile(func() bool { return !p.done && !p.timeout })
+	timer.Cancel()
+	if p.timeout && !p.done {
+		// Advance the caller past the timeout instant even when the
+		// pump stopped early (e.g. queue drained).
+		if n.Now() < start+timeout {
+			n.Clock.RunUntil(start + timeout)
+		}
+		return nil, n.Now() - start, ErrTimeout
+	}
+	p.rtt = n.Now() - start
+	return p.resp.Payload, p.rtt, nil
+}
+
+// Race sends payload to every destination simultaneously and waits
+// for the first reply, the paper's client-side multicast: "have DNS
+// requests be multicast to both MEC DNS and the network's L-DNS".
+// It returns the index of the winning destination, its reply, and the
+// time to first answer. Slower replies are discarded on arrival.
+func (e *Endpoint) Race(dsts []netip.Addr, payload []byte, timeout time.Duration) (int, []byte, time.Duration, error) {
+	return e.RaceFunc(dsts, payload, timeout, nil)
+}
+
+// RaceFunc is Race with an acceptance predicate: replies for which
+// accept returns false are discarded and the race continues — the way
+// a multicasting stub ignores a fast REFUSED from a resolver that
+// does not serve the name while the useful answer is still in flight.
+// A nil accept takes any reply.
+func (e *Endpoint) RaceFunc(dsts []netip.Addr, payload []byte, timeout time.Duration, accept func(i int, resp []byte) bool) (int, []byte, time.Duration, error) {
+	n := e.node.net
+	if n.pending == nil {
+		n.pending = make(map[uint64]*pendingExchange)
+	}
+	if len(dsts) == 0 {
+		return -1, nil, 0, ErrNoDestinations
+	}
+	start := n.Now()
+	ids := make([]uint64, len(dsts))
+	pends := make([]*pendingExchange, len(dsts))
+	for i, dst := range dsts {
+		n.nextExchange++
+		ids[i] = n.nextExchange
+		pends[i] = &pendingExchange{}
+		n.pending[ids[i]] = pends[i]
+		// Unroutable destinations simply never answer, like UDP.
+		_ = n.Send(Datagram{Src: e.node.Addr, Dst: dst, Payload: payload, ExchangeID: ids[i]})
+	}
+	defer func() {
+		for _, id := range ids {
+			delete(n.pending, id)
+		}
+	}()
+	timedOut := false
+	timer := n.Clock.Schedule(timeout, func() { timedOut = true })
+	rejected := make([]bool, len(pends))
+	anyDone := func() int {
+		for i, p := range pends {
+			if p.done && !rejected[i] {
+				if accept != nil && !accept(i, p.resp.Payload) {
+					rejected[i] = true
+					continue
+				}
+				return i
+			}
+		}
+		return -1
+	}
+	winner := -1
+	n.Clock.RunWhile(func() bool {
+		winner = anyDone()
+		return winner < 0 && !timedOut
+	})
+	timer.Cancel()
+	if winner < 0 {
+		winner = anyDone()
+	}
+	if winner >= 0 {
+		return winner, pends[winner].resp.Payload, n.Now() - start, nil
+	}
+	if n.Now() < start+timeout {
+		n.Clock.RunUntil(start + timeout)
+	}
+	return -1, nil, n.Now() - start, ErrTimeout
+}
+
+// SendAsync fires a datagram without waiting for any reply.
+func (e *Endpoint) SendAsync(dst netip.Addr, payload []byte) error {
+	return e.node.net.Send(Datagram{Src: e.node.Addr, Dst: dst, Payload: payload})
+}
+
+// Addr returns the endpoint's bound address.
+func (e *Endpoint) Addr() netip.Addr { return e.node.Addr }
+
+// Network returns the network the endpoint belongs to.
+func (e *Endpoint) Network() *Network { return e.node.net }

@@ -1,0 +1,346 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// Datagram is an unreliable message in flight between two nodes,
+// carrying an opaque payload (in this repository: a packed DNS
+// message or a small CDN control payload).
+type Datagram struct {
+	Src, Dst netip.Addr
+	Payload  []byte
+	// ExchangeID correlates a reply with the Exchange that sent the
+	// request. Zero for unsolicited sends.
+	ExchangeID uint64
+	// Reply marks response datagrams.
+	Reply bool
+	// OrigSrc is the originating client when the datagram has been
+	// relayed by a source-preserving proxy (kube-proxy DNAT). Zero
+	// means Src is the client.
+	OrigSrc netip.Addr
+}
+
+// Client returns the effective client address: OrigSrc when a proxy
+// preserved it, Src otherwise.
+func (dg Datagram) Client() netip.Addr {
+	if dg.OrigSrc.IsValid() {
+		return dg.OrigSrc
+	}
+	return dg.Src
+}
+
+// Handler processes datagrams delivered to a node.
+type Handler interface {
+	HandleDatagram(ctx *Ctx, dg Datagram)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx *Ctx, dg Datagram)
+
+// HandleDatagram implements Handler.
+func (f HandlerFunc) HandleDatagram(ctx *Ctx, dg Datagram) { f(ctx, dg) }
+
+// HopEvent is what an observation tap sees when a datagram transits,
+// arrives at, or is dropped on the way to a node.
+type HopEvent struct {
+	Time    time.Duration
+	Node    string
+	Kind    HopKind
+	Dg      Datagram
+	Elapsed time.Duration // time since the datagram was sent
+}
+
+// HopKind classifies a HopEvent.
+type HopKind int
+
+// Hop event kinds.
+const (
+	HopForward HopKind = iota // datagram transits this node
+	HopDeliver                // datagram delivered to this node's handler
+	HopDrop                   // datagram lost on the link into this node
+)
+
+// String returns a short mnemonic.
+func (k HopKind) String() string {
+	switch k {
+	case HopForward:
+		return "forward"
+	case HopDeliver:
+		return "deliver"
+	case HopDrop:
+		return "drop"
+	}
+	return fmt.Sprintf("hopkind(%d)", int(k))
+}
+
+// TapFunc observes hop events at a node, like a packet capture.
+type TapFunc func(ev HopEvent)
+
+// Node is a named participant in the network.
+type Node struct {
+	Name    string
+	Addr    netip.Addr
+	handler Handler
+	taps    []TapFunc
+	net     *Network
+}
+
+// SetHandler installs the node's datagram handler.
+func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// Network returns the network the node belongs to.
+func (n *Node) Network() *Network { return n.net }
+
+// Tap registers an observation tap at this node; it sees every
+// datagram that is delivered to, forwarded through, or dropped at the
+// node.
+func (n *Node) Tap(f TapFunc) { n.taps = append(n.taps, f) }
+
+func (n *Node) observe(ev HopEvent) {
+	for _, f := range n.taps {
+		f(ev)
+	}
+}
+
+// Link is a unidirectional edge with a delay distribution and a loss
+// probability. AddLink installs both directions with the same model.
+type Link struct {
+	From, To string
+	Delay    Sampler
+	LossProb float64
+}
+
+// Network is a graph of nodes and links sharing one virtual clock and
+// one deterministic RNG.
+type Network struct {
+	Clock *Clock
+	rng   *rand.Rand
+
+	nodes  map[string]*Node
+	byAddr map[netip.Addr]*Node
+	links  map[[2]string]*Link
+	routes map[[2]string][]string // cached BFS paths, node names inclusive
+
+	nextExchange uint64
+	nextAddr     uint32
+	pending      map[uint64]*pendingExchange
+}
+
+// New returns an empty network using the given RNG seed.
+func New(seed int64) *Network {
+	return &Network{
+		Clock:  new(Clock),
+		rng:    rand.New(rand.NewSource(seed)),
+		nodes:  make(map[string]*Node),
+		byAddr: make(map[netip.Addr]*Node),
+		links:  make(map[[2]string]*Link),
+		routes: make(map[[2]string][]string),
+		// Addresses are allocated from TEST-NET-3 unless the caller
+		// assigns explicit ones.
+		nextAddr: 0xCB007100, // 203.0.113.0
+	}
+}
+
+// Rand exposes the simulation RNG so higher layers draw from the same
+// deterministic stream.
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.Clock.Now() }
+
+// AddNode creates a node with an auto-assigned address.
+func (n *Network) AddNode(name string) *Node {
+	n.nextAddr++
+	a := n.nextAddr
+	return n.AddNodeAddr(name, netip.AddrFrom4([4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}))
+}
+
+// AddNodeAddr creates a node with an explicit address. It panics on a
+// duplicate name or address: topologies are built once at startup and
+// a duplicate is a programming error.
+func (n *Network) AddNodeAddr(name string, addr netip.Addr) *Node {
+	if _, ok := n.nodes[name]; ok {
+		panic(fmt.Sprintf("simnet: duplicate node %q", name))
+	}
+	if _, ok := n.byAddr[addr]; ok {
+		panic(fmt.Sprintf("simnet: duplicate address %v", addr))
+	}
+	node := &Node{Name: name, Addr: addr, net: n}
+	n.nodes[name] = node
+	n.byAddr[addr] = node
+	return node
+}
+
+// Node returns the named node, or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// NodeByAddr returns the node bound to addr, or nil.
+func (n *Network) NodeByAddr(addr netip.Addr) *Node { return n.byAddr[addr] }
+
+// Nodes returns all node names in sorted order.
+func (n *Network) Nodes() []string {
+	names := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AddLink joins two nodes bidirectionally with the same delay model
+// and loss probability in each direction.
+func (n *Network) AddLink(a, b string, delay Sampler, lossProb float64) {
+	n.addDirectedLink(a, b, delay, lossProb)
+	n.addDirectedLink(b, a, delay, lossProb)
+}
+
+// AddDirectedLink joins a→b only.
+func (n *Network) AddDirectedLink(from, to string, delay Sampler, lossProb float64) {
+	n.addDirectedLink(from, to, delay, lossProb)
+}
+
+// RemoveLink deletes both directions of the a↔b link, if present.
+// Datagrams already in flight are unaffected; handoff happens between
+// packets, like a break-before-make cellular handover.
+func (n *Network) RemoveLink(a, b string) {
+	delete(n.links, [2]string{a, b})
+	delete(n.links, [2]string{b, a})
+	n.routes = make(map[[2]string][]string)
+}
+
+// HasLink reports whether a directed a→b link exists.
+func (n *Network) HasLink(a, b string) bool {
+	_, ok := n.links[[2]string{a, b}]
+	return ok
+}
+
+func (n *Network) addDirectedLink(from, to string, delay Sampler, lossProb float64) {
+	if n.nodes[from] == nil || n.nodes[to] == nil {
+		panic(fmt.Sprintf("simnet: link %s→%s references unknown node", from, to))
+	}
+	n.links[[2]string{from, to}] = &Link{From: from, To: to, Delay: delay, LossProb: lossProb}
+	n.routes = make(map[[2]string][]string) // topology changed: drop cache
+}
+
+// Path returns the node names along the shortest (fewest-hops) route
+// from src to dst, inclusive of both endpoints.
+func (n *Network) Path(src, dst string) ([]string, error) {
+	if src == dst {
+		return []string{src}, nil
+	}
+	key := [2]string{src, dst}
+	if p, ok := n.routes[key]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("simnet: no route from %s to %s", src, dst)
+		}
+		return p, nil
+	}
+	// BFS over directed links. Neighbor order is sorted for
+	// determinism.
+	prev := map[string]string{src: src}
+	queue := []string{src}
+	for len(queue) > 0 && prev[dst] == "" {
+		cur := queue[0]
+		queue = queue[1:]
+		var nbrs []string
+		for k := range n.links {
+			if k[0] == cur {
+				nbrs = append(nbrs, k[1])
+			}
+		}
+		sort.Strings(nbrs)
+		for _, nb := range nbrs {
+			if _, seen := prev[nb]; !seen {
+				prev[nb] = cur
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if _, ok := prev[dst]; !ok {
+		n.routes[key] = nil
+		return nil, fmt.Errorf("simnet: no route from %s to %s", src, dst)
+	}
+	var rev []string
+	for at := dst; ; at = prev[at] {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+	}
+	path := make([]string, len(rev))
+	for i, name := range rev {
+		path[len(rev)-1-i] = name
+	}
+	n.routes[key] = path
+	return path, nil
+}
+
+// Send injects a datagram at its source node. It traverses the routed
+// path hop by hop in virtual time, invoking taps along the way, and is
+// dropped if any link loses it. Delivery invokes the destination
+// node's handler.
+func (n *Network) Send(dg Datagram) error {
+	src := n.byAddr[dg.Src]
+	dst := n.byAddr[dg.Dst]
+	if src == nil {
+		return fmt.Errorf("simnet: send from unknown address %v", dg.Src)
+	}
+	if dst == nil {
+		return fmt.Errorf("simnet: send to unknown address %v", dg.Dst)
+	}
+	path, err := n.Path(src.Name, dst.Name)
+	if err != nil {
+		return err
+	}
+	if src == dst {
+		// Loopback: deliver to the node's own handler immediately.
+		n.Clock.Schedule(0, func() {
+			dst.observe(HopEvent{Time: n.Clock.Now(), Node: dst.Name, Kind: HopDeliver, Dg: dg})
+			if n.deliverReply(dg) {
+				return
+			}
+			if dst.handler != nil {
+				dst.handler.HandleDatagram(&Ctx{net: n, node: dst, req: dg}, dg)
+			}
+		})
+		return nil
+	}
+	sentAt := n.Clock.Now()
+	elapsed := time.Duration(0)
+	for i := 1; i < len(path); i++ {
+		link := n.links[[2]string{path[i-1], path[i]}]
+		elapsed += link.Delay.Sample(n.rng)
+		hop := n.nodes[path[i]]
+		if link.LossProb > 0 && n.rng.Float64() < link.LossProb {
+			at := elapsed
+			n.Clock.ScheduleAt(sentAt+at, func() {
+				hop.observe(HopEvent{Time: n.Clock.Now(), Node: hop.Name, Kind: HopDrop, Dg: dg, Elapsed: at})
+			})
+			return nil // lost in transit; sender sees silence
+		}
+		at := elapsed
+		final := i == len(path)-1
+		n.Clock.ScheduleAt(sentAt+at, func() {
+			kind := HopForward
+			if final {
+				kind = HopDeliver
+			}
+			hop.observe(HopEvent{Time: n.Clock.Now(), Node: hop.Name, Kind: kind, Dg: dg, Elapsed: at})
+			if !final {
+				return
+			}
+			if n.deliverReply(dg) {
+				return
+			}
+			if hop.handler != nil {
+				hop.handler.HandleDatagram(&Ctx{net: n, node: hop, req: dg}, dg)
+			}
+		})
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package simnet
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// raceFixture: one client, a fast and a slow responder.
+func raceFixture(t *testing.T) *Network {
+	t.Helper()
+	n := New(40)
+	n.AddNode("client")
+	n.AddNode("fast")
+	n.AddNode("slow")
+	n.AddLink("client", "fast", Constant(2*time.Millisecond), 0)
+	n.AddLink("client", "slow", Constant(20*time.Millisecond), 0)
+	n.Node("fast").SetHandler(HandlerFunc(func(ctx *Ctx, dg Datagram) {
+		ctx.Reply([]byte("fast:"+string(dg.Payload)), 0)
+	}))
+	n.Node("slow").SetHandler(HandlerFunc(func(ctx *Ctx, dg Datagram) {
+		ctx.Reply([]byte("slow:"+string(dg.Payload)), 0)
+	}))
+	return n
+}
+
+func TestRaceFirstAnswerWins(t *testing.T) {
+	n := raceFixture(t)
+	ep := n.Node("client").Endpoint()
+	idx, resp, rtt, err := ep.Race(
+		[]netip.Addr{n.Node("fast").Addr, n.Node("slow").Addr}, []byte("q"), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 || !bytes.Equal(resp, []byte("fast:q")) {
+		t.Errorf("winner = %d %q", idx, resp)
+	}
+	if rtt != 4*time.Millisecond {
+		t.Errorf("rtt = %v, want 4ms", rtt)
+	}
+}
+
+func TestRaceFuncRejectsFastLoser(t *testing.T) {
+	n := raceFixture(t)
+	ep := n.Node("client").Endpoint()
+	accept := func(i int, resp []byte) bool { return i == 1 } // only slow acceptable
+	idx, resp, rtt, err := ep.RaceFunc(
+		[]netip.Addr{n.Node("fast").Addr, n.Node("slow").Addr}, []byte("q"), time.Second, accept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 || !bytes.Equal(resp, []byte("slow:q")) {
+		t.Errorf("winner = %d %q", idx, resp)
+	}
+	if rtt != 40*time.Millisecond {
+		t.Errorf("rtt = %v, want 40ms", rtt)
+	}
+}
+
+func TestRaceAllRejectedTimesOut(t *testing.T) {
+	n := raceFixture(t)
+	ep := n.Node("client").Endpoint()
+	accept := func(int, []byte) bool { return false }
+	_, _, _, err := ep.RaceFunc(
+		[]netip.Addr{n.Node("fast").Addr, n.Node("slow").Addr}, []byte("q"), 100*time.Millisecond, accept)
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRaceNoDestinations(t *testing.T) {
+	n := raceFixture(t)
+	_, _, _, err := n.Node("client").Endpoint().Race(nil, []byte("q"), time.Second)
+	if !errors.Is(err, ErrNoDestinations) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDatagramClient(t *testing.T) {
+	n := raceFixture(t)
+	a := n.Node("fast").Addr
+	b := n.Node("slow").Addr
+	dg := Datagram{Src: a}
+	if dg.Client() != a {
+		t.Error("Client without OrigSrc")
+	}
+	dg.OrigSrc = b
+	if dg.Client() != b {
+		t.Error("Client with OrigSrc")
+	}
+}

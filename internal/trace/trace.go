@@ -1,0 +1,90 @@
+// Package trace is the simulated analogue of running tcpdump at the
+// P-GW: it taps a simnet node, records every datagram transit, and
+// decomposes a request/response exchange into the paper's Figure 5
+// breakdown — (i) wireless time between the UE and the P-GW versus
+// (ii) time spent beyond the P-GW in resolvers and upstream links.
+package trace
+
+import (
+	"sync"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/simnet"
+)
+
+// Breakdown splits one exchange's round-trip time.
+type Breakdown struct {
+	// Total is the client-observed round-trip time.
+	Total time.Duration
+	// Wireless is the UE↔tap portion (both directions).
+	Wireless time.Duration
+	// Resolver is the beyond-tap portion: resolver processing plus
+	// upstream network time.
+	Resolver time.Duration
+	// Crossed reports whether the exchange transited the tap at all;
+	// when false, Resolver is zero and Wireless equals Total.
+	Crossed bool
+}
+
+// Tap records datagram transits at one node.
+type Tap struct {
+	mu     sync.Mutex
+	events []simnet.HopEvent
+}
+
+// Install attaches a tap to the named node.
+func Install(net *simnet.Network, node string) *Tap {
+	t := &Tap{}
+	net.Node(node).Tap(func(ev simnet.HopEvent) {
+		t.mu.Lock()
+		t.events = append(t.events, ev)
+		t.mu.Unlock()
+	})
+	return t
+}
+
+// Reset drops recorded events; call between measured exchanges.
+func (t *Tap) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = t.events[:0]
+}
+
+// Events returns a copy of the recorded events.
+func (t *Tap) Events() []simnet.HopEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]simnet.HopEvent(nil), t.events...)
+}
+
+// Measure decomposes one exchange that started at virtual time start
+// and completed at end. It uses the first recorded outbound transit
+// (the query crossing the tap) and the last inbound one (the reply
+// crossing back). Run exactly one exchange between Reset and Measure.
+func (t *Tap) Measure(start, end time.Duration) Breakdown {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := Breakdown{Total: end - start}
+	var tQuery, tReply time.Duration = -1, -1
+	for _, ev := range t.events {
+		if ev.Kind == simnet.HopDrop {
+			continue
+		}
+		if ev.Time < start || ev.Time > end {
+			continue
+		}
+		if tQuery < 0 {
+			tQuery = ev.Time
+		} else {
+			tReply = ev.Time
+		}
+	}
+	if tQuery < 0 || tReply < 0 {
+		b.Wireless = b.Total
+		return b
+	}
+	b.Crossed = true
+	b.Wireless = (tQuery - start) + (end - tReply)
+	b.Resolver = tReply - tQuery
+	return b
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/simnet"
+)
+
+// fixture: ue—pgw—dns with constant delays so the breakdown is exact.
+func fixture(t *testing.T) (*simnet.Network, *Tap) {
+	t.Helper()
+	n := simnet.New(1)
+	n.AddNode("ue")
+	n.AddNode("pgw")
+	n.AddNode("dns")
+	n.AddLink("ue", "pgw", simnet.Constant(10*time.Millisecond), 0)
+	n.AddLink("pgw", "dns", simnet.Constant(3*time.Millisecond), 0)
+	n.Node("dns").SetHandler(simnet.HandlerFunc(func(ctx *simnet.Ctx, dg simnet.Datagram) {
+		ctx.Reply(dg.Payload, 2*time.Millisecond)
+	}))
+	return n, Install(n, "pgw")
+}
+
+func TestBreakdownExact(t *testing.T) {
+	n, tap := fixture(t)
+	tap.Reset()
+	start := n.Now()
+	_, _, err := n.Node("ue").Endpoint().Exchange(n.Node("dns").Addr, []byte("q"), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tap.Measure(start, n.Now())
+	if !b.Crossed {
+		t.Fatal("exchange did not cross the tap")
+	}
+	// Total = 10+3+2+3+10 = 28ms; wireless = 20ms; resolver = 8ms.
+	if b.Total != 28*time.Millisecond {
+		t.Errorf("total = %v", b.Total)
+	}
+	if b.Wireless != 20*time.Millisecond {
+		t.Errorf("wireless = %v", b.Wireless)
+	}
+	if b.Resolver != 8*time.Millisecond {
+		t.Errorf("resolver = %v", b.Resolver)
+	}
+	if b.Wireless+b.Resolver != b.Total {
+		t.Error("breakdown does not sum to total")
+	}
+}
+
+func TestBreakdownNotCrossed(t *testing.T) {
+	n := simnet.New(2)
+	n.AddNode("ue")
+	n.AddNode("local")
+	n.AddNode("pgw") // tap node off-path
+	n.AddLink("ue", "local", simnet.Constant(5*time.Millisecond), 0)
+	n.AddLink("ue", "pgw", simnet.Constant(time.Millisecond), 0)
+	n.Node("local").SetHandler(simnet.HandlerFunc(func(ctx *simnet.Ctx, dg simnet.Datagram) {
+		ctx.Reply(dg.Payload, 0)
+	}))
+	tap := Install(n, "pgw")
+	start := n.Now()
+	if _, _, err := n.Node("ue").Endpoint().Exchange(n.Node("local").Addr, []byte("q"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	b := tap.Measure(start, n.Now())
+	if b.Crossed {
+		t.Error("off-path exchange marked as crossed")
+	}
+	if b.Wireless != b.Total || b.Resolver != 0 {
+		t.Errorf("breakdown = %+v", b)
+	}
+}
+
+func TestResetBetweenExchanges(t *testing.T) {
+	n, tap := fixture(t)
+	ep := n.Node("ue").Endpoint()
+	if _, _, err := ep.Exchange(n.Node("dns").Addr, []byte("1"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tap.Reset()
+	start := n.Now()
+	if _, _, err := ep.Exchange(n.Node("dns").Addr, []byte("2"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	b := tap.Measure(start, n.Now())
+	if !b.Crossed || b.Resolver != 8*time.Millisecond {
+		t.Errorf("post-reset breakdown = %+v", b)
+	}
+	if got := len(tap.Events()); got != 2 {
+		t.Errorf("events after reset = %d, want 2", got)
+	}
+}
