@@ -2,15 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments examples cover clean
+.PHONY: all build test race vet bench experiments examples cover clean
 
-all: vet test build
+all: vet test race build
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

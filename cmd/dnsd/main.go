@@ -6,9 +6,14 @@
 // Usage:
 //
 //	dnsd -listen 127.0.0.1:5353 -zone mycdn.ciab.test.=./mycdn.zone \
-//	     -stub cdn.example.=192.0.2.53:53 -forward 9.9.9.9:53
+//	     -stub cdn.example.=192.0.2.53:53 -forward 9.9.9.9:53,8.8.8.8:53 \
+//	     -hedge 25ms -cooldown 5s -cache-shards 16
 //
-// Flags may repeat: -zone and -stub accumulate.
+// Flags may repeat: -zone and -stub accumulate. -forward and stub
+// upstreams take comma-separated lists tried in order, with automatic
+// failover on SERVFAIL/REFUSED and per-upstream cooldowns; -hedge
+// races a second upstream after the given delay for tail-latency
+// control.
 package main
 
 import (
@@ -31,23 +36,48 @@ func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:5353", "listen address (UDP and TCP)")
-		forward = flag.String("forward", "", "upstream resolver for unmatched names (host:port)")
-		zones   repeated
-		stubs   repeated
+		listen      = flag.String("listen", "127.0.0.1:5353", "listen address (UDP and TCP)")
+		forward     = flag.String("forward", "", "upstream resolver(s) for unmatched names, comma-separated host:port tried in order")
+		hedge       = flag.Duration("hedge", 0, "hedged-query delay: race a second upstream after this delay (0 disables)")
+		cooldown    = flag.Duration("cooldown", 5*time.Second, "base cooldown window for an upstream after repeated failures")
+		maxFailures = flag.Int("max-failures", 3, "consecutive upstream failures before the cooldown trips")
+		cacheSize   = flag.Int("cache-entries", 4096, "response cache capacity in entries")
+		cacheShards = flag.Int("cache-shards", 16, "response cache shard count (reduced automatically for small caches)")
+		zones       repeated
+		stubs       repeated
 	)
 	flag.Var(&zones, "zone", "origin=path to a zone file (repeatable)")
 	flag.Var(&stubs, "stub", "domain=upstream for stub-domain routing (repeatable)")
 	flag.Parse()
 
-	if err := run(*listen, *forward, zones, stubs); err != nil {
+	cfg := serverConfig{
+		listen:      *listen,
+		forward:     *forward,
+		hedge:       *hedge,
+		cooldown:    *cooldown,
+		maxFailures: *maxFailures,
+		cacheSize:   *cacheSize,
+		cacheShards: *cacheShards,
+		zones:       zones,
+		stubs:       stubs,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dnsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, forward string, zones, stubs []string) error {
-	srv, metrics, err := build(listen, forward, zones, stubs)
+// serverConfig carries the flag values into build.
+type serverConfig struct {
+	listen, forward        string
+	hedge, cooldown        time.Duration
+	maxFailures            int
+	cacheSize, cacheShards int
+	zones, stubs           []string
+}
+
+func run(cfg serverConfig) error {
+	srv, metrics, cache, err := build(cfg)
 	if err != nil {
 		return err
 	}
@@ -60,49 +90,63 @@ func run(listen, forward string, zones, stubs []string) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Printf("\nshutting down; served %d queries\n", metrics.Total())
+	cs := cache.Stats()
+	fmt.Printf("cache: %d entries over %d shards, %d hits / %d misses, %d coalesced, %d evictions\n",
+		cs.Entries, cs.Shards, cs.Hits, cs.Misses, cs.Coalesced, cs.Evictions)
+	if lat := metrics.Latency(); lat.Len() > 0 {
+		fmt.Printf("serve latency: p50 %v  p99 %v  max %v (n=%d)\n",
+			lat.Percentile(50).Round(time.Microsecond),
+			lat.Percentile(99).Round(time.Microsecond),
+			lat.Max().Round(time.Microsecond), lat.Len())
+	}
 	return srv.Close()
 }
 
 // build assembles the server from the flag values without starting it.
-func build(listen, forward string, zones, stubs []string) (*meccdn.DNSServer, *meccdn.DNSMetrics, error) {
+func build(cfg serverConfig) (*meccdn.DNSServer, *meccdn.DNSMetrics, *meccdn.DNSCache, error) {
 	metrics := meccdn.NewDNSMetrics()
 	cache := meccdn.NewDNSCache(meccdn.RealClock())
+	cache.MaxEntries = cfg.cacheSize
+	cache.Shards = cfg.cacheShards
 	plugins := []meccdn.DNSPlugin{metrics, cache}
 
 	client := &meccdn.Client{Transport: &meccdn.NetTransport{}, Timeout: 3 * time.Second, Retries: 1}
 
-	if len(stubs) > 0 {
+	if len(cfg.stubs) > 0 {
 		stub := meccdn.NewStub(client)
-		for _, s := range stubs {
+		stub.FailureThreshold = cfg.maxFailures
+		stub.Cooldown = cfg.cooldown
+		stub.HedgeDelay = cfg.hedge
+		for _, s := range cfg.stubs {
 			domain, upstream, ok := strings.Cut(s, "=")
 			if !ok {
-				return nil, nil, fmt.Errorf("bad -stub %q, want domain=host:port", s)
+				return nil, nil, nil, fmt.Errorf("bad -stub %q, want domain=host:port", s)
 			}
-			addr, err := netip.ParseAddrPort(upstream)
+			addrs, err := parseUpstreams(upstream)
 			if err != nil {
-				return nil, nil, fmt.Errorf("bad stub upstream %q: %w", upstream, err)
+				return nil, nil, nil, fmt.Errorf("bad stub upstream %q: %w", upstream, err)
 			}
-			stub.Route(domain, addr)
-			fmt.Printf("stub-domain %s -> %v\n", meccdn.CanonicalName(domain), addr)
+			stub.Route(domain, addrs...)
+			fmt.Printf("stub-domain %s -> %v\n", meccdn.CanonicalName(domain), addrs)
 		}
 		plugins = append(plugins, stub)
 	}
 
-	if len(zones) > 0 {
+	if len(cfg.zones) > 0 {
 		zp := meccdn.NewZonePlugin()
-		for _, z := range zones {
+		for _, z := range cfg.zones {
 			origin, path, ok := strings.Cut(z, "=")
 			if !ok {
-				return nil, nil, fmt.Errorf("bad -zone %q, want origin=path", z)
+				return nil, nil, nil, fmt.Errorf("bad -zone %q, want origin=path", z)
 			}
 			f, err := os.Open(path)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			zone, err := meccdn.ParseZone(origin, f)
 			f.Close()
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			zp.AddZone(zone)
 			fmt.Printf("authoritative for %s (%d names)\n", zone.Origin, len(zone.Names()))
@@ -110,15 +154,34 @@ func build(listen, forward string, zones, stubs []string) (*meccdn.DNSServer, *m
 		plugins = append(plugins, zp)
 	}
 
-	if forward != "" {
-		addr, err := netip.ParseAddrPort(forward)
+	if cfg.forward != "" {
+		addrs, err := parseUpstreams(cfg.forward)
 		if err != nil {
-			return nil, nil, fmt.Errorf("bad -forward %q: %w", forward, err)
+			return nil, nil, nil, fmt.Errorf("bad -forward %q: %w", cfg.forward, err)
 		}
-		plugins = append(plugins, &meccdn.Forward{Upstreams: []netip.AddrPort{addr}, Client: client})
-		fmt.Printf("forwarding unmatched names to %v\n", addr)
+		plugins = append(plugins, &meccdn.Forward{
+			Upstreams:        addrs,
+			Client:           client,
+			FailureThreshold: cfg.maxFailures,
+			Cooldown:         cfg.cooldown,
+			HedgeDelay:       cfg.hedge,
+		})
+		fmt.Printf("forwarding unmatched names to %v\n", addrs)
 	}
 
-	srv := &meccdn.DNSServer{Addr: listen, Handler: meccdn.Chain(plugins...)}
-	return srv, metrics, nil
+	srv := &meccdn.DNSServer{Addr: cfg.listen, Handler: meccdn.Chain(plugins...)}
+	return srv, metrics, cache, nil
+}
+
+// parseUpstreams parses a comma-separated list of host:port addresses.
+func parseUpstreams(s string) ([]netip.AddrPort, error) {
+	var addrs []netip.AddrPort
+	for _, part := range strings.Split(s, ",") {
+		addr, err := netip.ParseAddrPort(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		addrs = append(addrs, addr)
+	}
+	return addrs, nil
 }

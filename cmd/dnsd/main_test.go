@@ -25,7 +25,7 @@ func TestBuildAndServe(t *testing.T) {
 @ 3600 IN SOA ns hostmaster 1 7200 3600 1209600 300
 www 60 IN A 192.0.2.88
 `)
-	srv, metrics, err := build("127.0.0.1:0", "", []string{"dnsd.test.=" + zonePath}, nil)
+	srv, metrics, _, err := build(serverConfig{listen: "127.0.0.1:0", zones: []string{"dnsd.test.=" + zonePath}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestBuildStubAndForward(t *testing.T) {
 	defer upstream.Close()
 	up := upstream.LocalAddr().String()
 
-	srv, _, err := build("127.0.0.1:0", up, nil, []string{"cdn.test.=" + up})
+	srv, _, _, err := build(serverConfig{listen: "127.0.0.1:0", forward: up, stubs: []string{"cdn.test.=" + up}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,19 +96,19 @@ func TestBuildStubAndForward(t *testing.T) {
 }
 
 func TestBuildErrors(t *testing.T) {
-	if _, _, err := build(":0", "", []string{"missing-equals"}, nil); err == nil {
+	if _, _, _, err := build(serverConfig{listen: ":0", zones: []string{"missing-equals"}}); err == nil {
 		t.Error("bad -zone accepted")
 	}
-	if _, _, err := build(":0", "", []string{"z.test.=/no/such/file"}, nil); err == nil {
+	if _, _, _, err := build(serverConfig{listen: ":0", zones: []string{"z.test.=/no/such/file"}}); err == nil {
 		t.Error("missing zone file accepted")
 	}
-	if _, _, err := build(":0", "", nil, []string{"noequals"}); err == nil {
+	if _, _, _, err := build(serverConfig{listen: ":0", stubs: []string{"noequals"}}); err == nil {
 		t.Error("bad -stub accepted")
 	}
-	if _, _, err := build(":0", "", nil, []string{"d.test.=notanaddr"}); err == nil {
+	if _, _, _, err := build(serverConfig{listen: ":0", stubs: []string{"d.test.=notanaddr"}}); err == nil {
 		t.Error("bad stub upstream accepted")
 	}
-	if _, _, err := build(":0", "notanaddr", nil, nil); err == nil {
+	if _, _, _, err := build(serverConfig{listen: ":0", forward: "notanaddr"}); err == nil {
 		t.Error("bad -forward accepted")
 	}
 }

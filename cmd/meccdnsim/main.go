@@ -127,6 +127,14 @@ func run(seed int64, objects, requests int, air string, caches int, policy strin
 		fmt.Printf("  cache %d: %d objects, %.1f MiB, %d hits / %d misses, %d evictions\n",
 			i, st.Objects, float64(st.UsedBytes)/(1<<20), st.Hits, st.Misses, st.Evictions)
 	}
+	ms := site.MsgCache.Stats()
+	fmt.Printf("  L-DNS msg cache: %d entries over %d shards, %d hits / %d misses, %d coalesced\n",
+		ms.Entries, ms.Shards, ms.Hits, ms.Misses, ms.Coalesced)
+	if lat := site.Metrics.Latency(); lat.Len() > 0 {
+		fmt.Printf("  L-DNS serve time (virtual): p50 %8.2fms  p99 %8.2fms  n=%d\n",
+			float64(lat.Percentile(50))/float64(time.Millisecond),
+			float64(lat.Percentile(99))/float64(time.Millisecond), lat.Len())
+	}
 	fmt.Printf("  virtual time elapsed: %v (wall time: instantaneous)\n", tb.Net.Now().Round(time.Millisecond))
 	return nil
 }

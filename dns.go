@@ -84,10 +84,16 @@ type (
 	Zone = dnsserver.Zone
 	// ZonePlugin serves authoritative answers from zones.
 	ZonePlugin = dnsserver.ZonePlugin
-	// DNSCache is a TTL-honouring response cache plugin.
+	// DNSCache is a sharded TTL-honouring response cache plugin with
+	// singleflight miss coalescing.
 	DNSCache = dnsserver.Cache
-	// Forward forwards queries to upstream resolvers.
+	// DNSCacheStats is a snapshot of the cache counters.
+	DNSCacheStats = dnsserver.CacheStats
+	// Forward forwards queries to upstream resolvers with rcode-aware
+	// failover, health cooldowns, and optional hedged queries.
 	Forward = dnsserver.Forward
+	// ForwardStats is a snapshot of the forwarding counters.
+	ForwardStats = dnsserver.ForwardStats
 	// Stub routes sub-domains to dedicated upstreams (the CoreDNS
 	// stub-domain mechanism handing the CDN domain to the C-DNS).
 	Stub = dnsserver.Stub

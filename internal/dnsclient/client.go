@@ -80,13 +80,17 @@ func (c *Client) Query(ctx context.Context, server netip.AddrPort, name string, 
 	return c.Do(ctx, server, q)
 }
 
-// Do sends q to server and returns the validated response. The query's
-// ID is assigned by the client. Truncated UDP responses are retried
-// over TCP unless DisableTCPFallback is set.
+// Do sends q to server and returns the validated response. Do never
+// mutates the caller's message: it operates on its own copy, so the
+// same query value can be reused (or raced by hedged exchanges)
+// safely. The copy's ID is assigned by the client, and EDNS is
+// attached per UDPSize. Truncated UDP responses are retried over TCP
+// unless DisableTCPFallback is set.
 func (c *Client) Do(ctx context.Context, server netip.AddrPort, q *dnswire.Message) (*dnswire.Message, error) {
 	if c.Transport == nil {
 		return nil, errors.New("dnsclient: no transport configured")
 	}
+	q = q.Clone()
 	q.ID = c.newID()
 	if c.UDPSize > 0 {
 		if _, ok := q.OPT(); !ok {

@@ -12,31 +12,75 @@ import (
 )
 
 // CacheStats is a snapshot of cache effectiveness counters.
+//
+// Every lookup is counted exactly once: as a Hit, a Miss (key absent),
+// or an Expired (key present but past its TTL), so
+// Hits+Misses+Expired equals the number of lookups.
 type CacheStats struct {
-	Hits, Misses  uint64
-	NegativeHits  uint64
-	Entries       int
-	Evictions     uint64
-	ExpiredServed uint64 // entries found but already expired
+	Hits, Misses uint64
+	NegativeHits uint64
+	// Expired counts lookups that found an entry already past its
+	// TTL; such lookups are answered upstream like misses but are not
+	// double-counted in Misses.
+	Expired   uint64
+	Entries   int
+	Evictions uint64
+	// Coalesced counts queries that piggybacked on another query's
+	// in-flight upstream exchange instead of issuing their own
+	// (singleflight miss coalescing).
+	Coalesced uint64
+	// Shards is the number of independent cache shards in use.
+	Shards int
 }
 
 // Cache is a TTL-honouring response cache with RFC 2308 negative
 // caching and LRU eviction. Responses are keyed by question and, when
 // the upstream scoped its answer with ECS, by client subnet — which is
 // precisely the cache-fragmentation cost of ECS the paper alludes to.
+//
+// The cache is sharded by key hash: each shard has its own mutex and
+// LRU list, so concurrent queries for different names never contend
+// on one lock. Concurrent misses for the *same* key are coalesced
+// with a singleflight flight per key: one query becomes the leader
+// and performs the upstream exchange, the rest wait and share its
+// answer, so M concurrent misses cost one upstream query.
 type Cache struct {
 	// Clock supplies time; required. Use the simnet clock in
 	// experiments and vclock.NewReal() on live servers.
 	Clock vclock.Clock
-	// MaxEntries bounds the cache; 0 means 4096.
+	// MaxEntries bounds the cache across all shards; 0 means 4096.
 	MaxEntries int
 	// MinTTL/MaxTTL clamp stored lifetimes. Zero MaxTTL means 1h.
 	MinTTL, MaxTTL time.Duration
+	// Shards is the number of independent shards; 0 means 16. The
+	// count is reduced automatically so every shard holds at least 64
+	// entries, which keeps LRU eviction near-exact for small caches.
+	Shards int
+	// DisableCoalescing turns off singleflight miss coalescing; each
+	// miss then performs its own upstream exchange.
+	DisableCoalescing bool
 
-	mu    sync.Mutex
-	items map[string]*list.Element
-	lru   *list.List
-	stats CacheStats
+	once   sync.Once
+	shards []*cacheShard
+}
+
+// cacheShard is one independently locked slice of the key space.
+type cacheShard struct {
+	mu      sync.Mutex
+	items   map[string]*list.Element
+	lru     *list.List
+	max     int
+	stats   CacheStats
+	flights map[string]*flight
+}
+
+// flight is one in-progress upstream exchange that concurrent misses
+// for the same key wait on.
+type flight struct {
+	done  chan struct{}
+	msg   *dnswire.Message // nil when the leader failed
+	rcode dnswire.Rcode
+	err   error
 }
 
 type cacheEntry struct {
@@ -48,31 +92,93 @@ type cacheEntry struct {
 
 // NewCache returns a cache using clock.
 func NewCache(clock vclock.Clock) *Cache {
-	return &Cache{
-		Clock: clock,
-		items: make(map[string]*list.Element),
-		lru:   list.New(),
+	return &Cache{Clock: clock}
+}
+
+// init sizes and allocates the shard table. It runs on first use so
+// MaxEntries/Shards can be set after NewCache.
+func (c *Cache) init() {
+	c.once.Do(func() {
+		max := c.MaxEntries
+		if max <= 0 {
+			max = 4096
+		}
+		n := c.Shards
+		if n <= 0 {
+			n = 16
+		}
+		// Keep shards big enough that per-shard LRU approximates the
+		// global LRU; tiny caches collapse to a single shard.
+		const minPerShard = 64
+		for n > 1 && max/n < minPerShard {
+			n /= 2
+		}
+		perShard := max / n
+		if max%n != 0 {
+			perShard++
+		}
+		c.shards = make([]*cacheShard, n)
+		for i := range c.shards {
+			c.shards[i] = &cacheShard{
+				items:   make(map[string]*list.Element),
+				lru:     list.New(),
+				max:     perShard,
+				flights: make(map[string]*flight),
+			}
+		}
+	})
+}
+
+// shard returns the shard owning key. The FNV-1a hash is inlined so
+// the per-query path stays allocation-free.
+func (c *Cache) shard(key string) *cacheShard {
+	c.init()
+	if len(c.shards) == 1 {
+		return c.shards[0]
 	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return c.shards[h%uint32(len(c.shards))]
 }
 
 // Name implements Plugin.
 func (c *Cache) Name() string { return "cache" }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters summed over all shards.
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = c.lru.Len()
+	c.init()
+	var s CacheStats
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		s.Hits += sh.stats.Hits
+		s.Misses += sh.stats.Misses
+		s.NegativeHits += sh.stats.NegativeHits
+		s.Expired += sh.stats.Expired
+		s.Evictions += sh.stats.Evictions
+		s.Coalesced += sh.stats.Coalesced
+		s.Entries += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	s.Shards = len(c.shards)
 	return s
 }
 
-// Flush drops every entry.
+// Flush drops every entry. In-flight exchanges are unaffected.
 func (c *Cache) Flush() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.items = make(map[string]*list.Element)
-	c.lru.Init()
+	c.init()
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.items = make(map[string]*list.Element)
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
 }
 
 func cacheKey(r *Request) string {
@@ -86,52 +192,101 @@ func cacheKey(r *Request) string {
 // ServeDNS implements Plugin.
 func (c *Cache) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
 	key := cacheKey(r)
-	if msg, ok := c.lookup(key); ok {
+	sh := c.shard(key)
+	if msg, ok := sh.lookup(key, c.Clock.Now()); ok {
 		msg.ID = r.Msg.ID
 		if err := w.WriteMsg(msg); err != nil {
 			return dnswire.RcodeServerFailure, err
 		}
 		return msg.Rcode, nil
 	}
+	if c.DisableCoalescing {
+		return c.fill(ctx, sh, nil, key, w, r, next)
+	}
 
+	// Singleflight: join an in-flight exchange for this key, or
+	// become the leader of a new one.
+	sh.mu.Lock()
+	if f, ok := sh.flights[key]; ok {
+		sh.stats.Coalesced++
+		sh.mu.Unlock()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return dnswire.RcodeServerFailure, ctx.Err()
+		}
+		if f.msg == nil {
+			return f.rcode, f.err
+		}
+		msg := f.msg.Clone()
+		msg.ID = r.Msg.ID
+		if err := w.WriteMsg(msg); err != nil {
+			return dnswire.RcodeServerFailure, err
+		}
+		return msg.Rcode, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	sh.flights[key] = f
+	sh.mu.Unlock()
+	return c.fill(ctx, sh, f, key, w, r, next)
+}
+
+// fill performs the upstream exchange for a miss, stores a cacheable
+// answer, and (when f is non-nil) publishes the outcome to coalesced
+// waiters.
+func (c *Cache) fill(ctx context.Context, sh *cacheShard, f *flight, key string, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
 	rec := &recorder{w: nil}
 	rcode, err := next.ServeDNS(ctx, rec, r)
+	if f != nil {
+		if err == nil && rec.written {
+			f.msg = rec.msg
+		}
+		f.rcode, f.err = rcode, err
+		sh.mu.Lock()
+		delete(sh.flights, key)
+		sh.mu.Unlock()
+		close(f.done)
+	}
 	if err != nil || !rec.written {
 		if rec.written {
 			_ = w.WriteMsg(rec.msg)
 		}
 		return rcode, err
 	}
-	c.store(key, rec.msg)
+	c.store(sh, key, rec.msg)
 	if err := w.WriteMsg(rec.msg); err != nil {
 		return dnswire.RcodeServerFailure, err
 	}
 	return rec.msg.Rcode, nil
 }
 
-// lookup returns a TTL-adjusted clone on hit.
-func (c *Cache) lookup(key string) (*dnswire.Message, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+// lookup returns a TTL-adjusted clone on hit. Only the map/LRU
+// bookkeeping runs under the shard lock; the clone and TTL aging run
+// outside it, which is safe because stored messages are immutable —
+// store replaces whole entries and every reader gets its own clone.
+func (sh *cacheShard) lookup(key string, now time.Duration) (*dnswire.Message, bool) {
+	sh.mu.Lock()
+	el, ok := sh.items[key]
 	if !ok {
-		c.stats.Misses++
+		sh.stats.Misses++
+		sh.mu.Unlock()
 		return nil, false
 	}
 	ent := el.Value.(*cacheEntry)
-	now := c.Clock.Now()
 	if now >= ent.expires {
-		c.lru.Remove(el)
-		delete(c.items, key)
-		c.stats.Misses++
-		c.stats.ExpiredServed++
+		sh.lru.Remove(el)
+		delete(sh.items, key)
+		sh.stats.Expired++
+		sh.mu.Unlock()
 		return nil, false
 	}
-	c.lru.MoveToFront(el)
-	c.stats.Hits++
+	sh.lru.MoveToFront(el)
+	sh.stats.Hits++
 	if ent.msg.Rcode != dnswire.RcodeSuccess || len(ent.msg.Answers) == 0 {
-		c.stats.NegativeHits++
+		sh.stats.NegativeHits++
 	}
+	sh.mu.Unlock()
+
 	msg := ent.msg.Clone()
 	// Age the TTLs by the time spent in cache.
 	aged := uint32((now - ent.stored) / time.Second)
@@ -151,7 +306,7 @@ func (c *Cache) lookup(key string) (*dnswire.Message, bool) {
 }
 
 // store caches msg under key for its effective TTL.
-func (c *Cache) store(key string, msg *dnswire.Message) {
+func (c *Cache) store(sh *cacheShard, key string, msg *dnswire.Message) {
 	ttl := effectiveTTL(msg)
 	if ttl <= 0 {
 		return
@@ -166,30 +321,22 @@ func (c *Cache) store(key string, msg *dnswire.Message) {
 	if ttl > maxTTL {
 		ttl = maxTTL
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.items == nil {
-		c.items = make(map[string]*list.Element)
-		c.lru = list.New()
-	}
 	now := c.Clock.Now()
 	ent := &cacheEntry{key: key, msg: msg.Clone(), stored: now, expires: now + ttl}
-	if el, ok := c.items[key]; ok {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[key]; ok {
 		el.Value = ent
-		c.lru.MoveToFront(el)
+		sh.lru.MoveToFront(el)
 		return
 	}
-	max := c.MaxEntries
-	if max <= 0 {
-		max = 4096
+	for sh.lru.Len() >= sh.max {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		delete(sh.items, oldest.Value.(*cacheEntry).key)
+		sh.stats.Evictions++
 	}
-	for c.lru.Len() >= max {
-		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
-		c.stats.Evictions++
-	}
-	c.items[key] = c.lru.PushFront(ent)
+	sh.items[key] = sh.lru.PushFront(ent)
 }
 
 // effectiveTTL derives the cacheable lifetime of a response: the
@@ -228,5 +375,6 @@ func effectiveTTL(msg *dnswire.Message) time.Duration {
 // String summarizes the cache for debugging.
 func (c *Cache) String() string {
 	s := c.Stats()
-	return fmt.Sprintf("cache{entries=%d hits=%d misses=%d}", s.Entries, s.Hits, s.Misses)
+	return fmt.Sprintf("cache{shards=%d entries=%d hits=%d misses=%d coalesced=%d}",
+		s.Shards, s.Entries, s.Hits, s.Misses, s.Coalesced)
 }

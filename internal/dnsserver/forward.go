@@ -5,14 +5,55 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sync"
+	"time"
 
 	"github.com/meccdn/meccdn/internal/dnsclient"
 	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/vclock"
 )
 
+// ForwardStats is a snapshot of the forwarding counters.
+type ForwardStats struct {
+	// Queries counts forwarded queries.
+	Queries uint64
+	// Failovers counts answers obtained from an upstream other than
+	// the first one tried (after a transport error, SERVFAIL, or
+	// REFUSED from an earlier upstream).
+	Failovers uint64
+	// Skipped counts times an upstream was demoted because it was in
+	// its failure cooldown window.
+	Skipped uint64
+	// Hedged counts queries for which a hedged second exchange was
+	// launched; HedgeWins counts those the hedge answered first.
+	Hedged, HedgeWins uint64
+}
+
+// upstreamHealth tracks one upstream's consecutive failures and the
+// cooldown window it must sit out after tripping the threshold.
+type upstreamHealth struct {
+	fails     int
+	downUntil time.Duration
+}
+
 // Forward sends queries to one or more upstream resolvers, trying
-// each in order until one answers. It is the "forward ." of the
-// provider L-DNS and the upstream leg of the MEC DNS fallback path.
+// each in order until one answers usably. It is the "forward ." of
+// the provider L-DNS and the upstream leg of the MEC DNS fallback
+// path.
+//
+// Robustness features:
+//
+//   - Failover treats SERVFAIL and REFUSED like transport errors: the
+//     next upstream is tried rather than relaying the failure. When
+//     every upstream fails, the last upstream response (if any) is
+//     relayed so the client sees the real upstream verdict.
+//   - Per-upstream health: FailureThreshold consecutive failures put
+//     an upstream into a Cooldown window (with exponential backoff)
+//     during which it is tried only as a last resort.
+//   - Hedging: when HedgeDelay > 0 and a second upstream is
+//     available, a second exchange is launched after the delay and
+//     the first usable answer wins — trading a duplicate upstream
+//     query for tail latency, per the classic tied-request technique.
 type Forward struct {
 	// Upstreams are tried in order.
 	Upstreams []netip.AddrPort
@@ -21,10 +62,113 @@ type Forward struct {
 	// Match, when non-empty, limits forwarding to names under this
 	// domain; others fall through to the next plugin.
 	Match string
+	// Clock supplies time for health cooldown accounting. Nil means a
+	// wall clock (initialized on first use). Use the simnet clock in
+	// experiments so cooldowns run in virtual time.
+	Clock vclock.Clock
+	// FailureThreshold is the number of consecutive failures that
+	// puts an upstream into cooldown; 0 means 3.
+	FailureThreshold int
+	// Cooldown is the base sit-out window for a tripped upstream;
+	// 0 means 5s. Repeated failures back off exponentially up to
+	// 64× the base.
+	Cooldown time.Duration
+	// HedgeDelay, when > 0, launches a second exchange against the
+	// next upstream after this delay and takes the first usable
+	// answer. The delay runs on the wall clock, so hedging is only
+	// meaningful on live servers; leave it zero under simnet.
+	HedgeDelay time.Duration
+
+	mu     sync.Mutex
+	health map[netip.AddrPort]*upstreamHealth
+	stats  ForwardStats
 }
 
 // Name implements Plugin.
 func (f *Forward) Name() string { return "forward" }
+
+// Stats returns a snapshot of the forwarding counters.
+func (f *Forward) Stats() ForwardStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// now returns the health clock's time, defaulting to a wall clock.
+func (f *Forward) now() time.Duration {
+	if f.Clock == nil {
+		f.Clock = vclock.NewReal()
+	}
+	return f.Clock.Now()
+}
+
+// failoverRcode reports whether rcode should trigger a try of the
+// next upstream rather than being relayed.
+func failoverRcode(rc dnswire.Rcode) bool {
+	return rc == dnswire.RcodeServerFailure || rc == dnswire.RcodeRefused
+}
+
+// candidates orders Upstreams for this query: healthy ones first in
+// configured order, cooled-down ones appended as a last resort.
+func (f *Forward) candidates() []netip.AddrPort {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.now()
+	healthy := make([]netip.AddrPort, 0, len(f.Upstreams))
+	var cooling []netip.AddrPort
+	for _, up := range f.Upstreams {
+		if h, ok := f.health[up]; ok && now < h.downUntil {
+			cooling = append(cooling, up)
+			f.stats.Skipped++
+			continue
+		}
+		healthy = append(healthy, up)
+	}
+	return append(healthy, cooling...)
+}
+
+// recordFailure notes one failed exchange and trips the cooldown once
+// the threshold is reached, backing off exponentially after that.
+func (f *Forward) recordFailure(up netip.AddrPort) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.health == nil {
+		f.health = make(map[netip.AddrPort]*upstreamHealth)
+	}
+	h := f.health[up]
+	if h == nil {
+		h = &upstreamHealth{}
+		f.health[up] = h
+	}
+	h.fails++
+	threshold := f.FailureThreshold
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if h.fails < threshold {
+		return
+	}
+	cooldown := f.Cooldown
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	// Exponential backoff: 1×, 2×, 4×, … capped at 64× the base.
+	exp := h.fails - threshold
+	if exp > 6 {
+		exp = 6
+	}
+	h.downUntil = f.now() + cooldown<<exp
+}
+
+// recordSuccess resets an upstream's failure state.
+func (f *Forward) recordSuccess(up netip.AddrPort) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h, ok := f.health[up]; ok {
+		h.fails = 0
+		h.downUntil = 0
+	}
+}
 
 // ServeDNS implements Plugin.
 func (f *Forward) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
@@ -34,23 +178,139 @@ func (f *Forward) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, ne
 	if f.Client == nil {
 		return dnswire.RcodeServerFailure, errors.New("dnsserver: forward has no client")
 	}
+	ups := f.candidates()
+	if len(ups) == 0 {
+		return dnswire.RcodeServerFailure, fmt.Errorf("forwarding %s: no upstreams configured", r.Name())
+	}
+	f.mu.Lock()
+	f.stats.Queries++
+	f.mu.Unlock()
+
 	var lastErr error
-	for _, up := range f.Upstreams {
-		resp, err := f.Client.Do(ctx, up, r.Msg.Clone())
+	var lastResp *dnswire.Message
+	hedgeFell := false
+
+	if f.HedgeDelay > 0 && len(ups) > 1 {
+		resp, fromHedge, ok := f.hedgedExchange(ctx, ups[0], ups[1], r)
+		if ok {
+			if fromHedge {
+				f.mu.Lock()
+				f.stats.Failovers++ // answered by other than the first upstream
+				f.mu.Unlock()
+			}
+			return writeUpstream(w, r, resp)
+		}
+		// Both raced upstreams failed; fall through to the rest.
+		ups = ups[2:]
+		hedgeFell = true
+	}
+
+	for i, up := range ups {
+		resp, err := f.Client.Do(ctx, up, r.Msg)
 		if err != nil {
+			f.recordFailure(up)
 			lastErr = err
 			continue
 		}
-		resp.ID = r.Msg.ID
-		if err := w.WriteMsg(resp); err != nil {
-			return dnswire.RcodeServerFailure, err
+		if failoverRcode(resp.Rcode) {
+			f.recordFailure(up)
+			lastResp = resp
+			continue
 		}
-		return resp.Rcode, nil
+		f.recordSuccess(up)
+		if i > 0 || hedgeFell {
+			f.mu.Lock()
+			f.stats.Failovers++
+			f.mu.Unlock()
+		}
+		return writeUpstream(w, r, resp)
+	}
+	if lastResp != nil {
+		// Every upstream answered with SERVFAIL/REFUSED; relay the
+		// last verdict rather than synthesizing our own.
+		return writeUpstream(w, r, lastResp)
 	}
 	if lastErr == nil {
-		lastErr = errors.New("no upstreams configured")
+		lastErr = errors.New("all upstreams failed")
 	}
 	return dnswire.RcodeServerFailure, fmt.Errorf("forwarding %s: %w", r.Name(), lastErr)
+}
+
+// writeUpstream relays an upstream response to the client under the
+// client's query ID.
+func writeUpstream(w ResponseWriter, r *Request, resp *dnswire.Message) (dnswire.Rcode, error) {
+	resp.ID = r.Msg.ID
+	if err := w.WriteMsg(resp); err != nil {
+		return dnswire.RcodeServerFailure, err
+	}
+	return resp.Rcode, nil
+}
+
+// hedgedExchange races primary against secondary: the secondary
+// exchange starts after HedgeDelay (or immediately once the primary
+// fails), and the first usable answer wins. Returns ok=false when
+// both failed; fromHedge reports whether the secondary won.
+func (f *Forward) hedgedExchange(ctx context.Context, primary, secondary netip.AddrPort, r *Request) (resp *dnswire.Message, fromHedge, ok bool) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		resp *dnswire.Message
+		err  error
+		up   netip.AddrPort
+	}
+	ch := make(chan result, 2)
+	launch := func(up netip.AddrPort) {
+		go func() {
+			resp, err := f.Client.Do(ctx, up, r.Msg)
+			ch <- result{resp, err, up}
+		}()
+	}
+	launch(primary)
+	launched := 1
+	timer := time.NewTimer(f.HedgeDelay)
+	defer timer.Stop()
+	hedge := func() {
+		launch(secondary)
+		launched = 2
+		f.mu.Lock()
+		f.stats.Hedged++
+		f.mu.Unlock()
+	}
+	for received := 0; received < launched; {
+		select {
+		case res := <-ch:
+			received++
+			if res.err == nil && !failoverRcode(res.resp.Rcode) {
+				f.recordSuccess(res.up)
+				if res.up == secondary {
+					f.mu.Lock()
+					f.stats.HedgeWins++
+					f.mu.Unlock()
+					return res.resp, true, true
+				}
+				return res.resp, false, true
+			}
+			f.recordFailure(res.up)
+			if launched == 1 {
+				// Primary failed before the hedge timer: fail over
+				// immediately instead of waiting out the delay.
+				hedge()
+			}
+		case <-timer.C:
+			if launched == 1 {
+				hedge()
+			}
+		}
+	}
+	return nil, false, false
+}
+
+// stubRoute is one stub domain's upstream set with its persistent
+// forwarder (persistent so upstream health survives across queries).
+type stubRoute struct {
+	upstreams []netip.AddrPort
+	fwd       *Forward
+	labels    int
 }
 
 // Stub routes queries for specific sub-domains to dedicated upstream
@@ -60,50 +320,80 @@ func (f *Forward) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, ne
 //
 //	stub := NewStub()
 //	stub.Route("mycdn.ciab.test.", cdnsAddr)
+//
+// Route and Unroute may be called concurrently with query serving (a
+// live reconfiguration); the route table is guarded by a RWMutex.
 type Stub struct {
-	routes map[string][]netip.AddrPort
+	mu     sync.RWMutex
+	routes map[string]*stubRoute
 	// Client performs the exchanges; required.
 	Client *dnsclient.Client
+	// Clock, FailureThreshold, Cooldown, and HedgeDelay configure the
+	// per-route forwarders; see Forward for semantics. They apply to
+	// routes added after they are set.
+	Clock            vclock.Clock
+	FailureThreshold int
+	Cooldown         time.Duration
+	HedgeDelay       time.Duration
 }
 
 // NewStub returns an empty stub-domain router.
 func NewStub(client *dnsclient.Client) *Stub {
-	return &Stub{routes: make(map[string][]netip.AddrPort), Client: client}
+	return &Stub{routes: make(map[string]*stubRoute), Client: client}
 }
 
 // Route directs queries under domain to the given upstreams.
 func (s *Stub) Route(domain string, upstreams ...netip.AddrPort) {
-	s.routes[dnswire.CanonicalName(domain)] = upstreams
+	domain = dnswire.CanonicalName(domain)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.routes[domain] = &stubRoute{
+		upstreams: upstreams,
+		labels:    dnswire.CountLabels(domain),
+		fwd: &Forward{
+			Upstreams:        upstreams,
+			Client:           s.Client,
+			Clock:            s.Clock,
+			FailureThreshold: s.FailureThreshold,
+			Cooldown:         s.Cooldown,
+			HedgeDelay:       s.HedgeDelay,
+		},
+	}
 }
 
 // Unroute removes a stub domain.
 func (s *Stub) Unroute(domain string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	delete(s.routes, dnswire.CanonicalName(domain))
 }
 
 // Name implements Plugin.
 func (s *Stub) Name() string { return "stub" }
 
-// match returns the upstreams for the longest matching stub domain.
-func (s *Stub) match(qname string) []netip.AddrPort {
-	var bestDomain string
-	var best []netip.AddrPort
-	for domain, ups := range s.routes {
+// match returns the forwarder for the longest matching stub domain.
+func (s *Stub) match(qname string) *Forward {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best *stubRoute
+	for domain, rt := range s.routes {
 		if dnswire.IsSubdomain(domain, qname) {
-			if best == nil || dnswire.CountLabels(domain) > dnswire.CountLabels(bestDomain) {
-				bestDomain, best = domain, ups
+			if best == nil || rt.labels > best.labels {
+				best = rt
 			}
 		}
 	}
-	return best
+	if best == nil {
+		return nil
+	}
+	return best.fwd
 }
 
 // ServeDNS implements Plugin.
 func (s *Stub) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
-	ups := s.match(r.Name())
-	if ups == nil {
+	fwd := s.match(r.Name())
+	if fwd == nil {
 		return next.ServeDNS(ctx, w, r)
 	}
-	fwd := &Forward{Upstreams: ups, Client: s.Client}
 	return fwd.ServeDNS(ctx, w, r, next)
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/stats"
 	"github.com/meccdn/meccdn/internal/vclock"
 )
 
@@ -14,21 +15,28 @@ import (
 // threshold, switches answering to the provider's L-DNS path (or
 // refuses outright), so best-effort MEC resolution never becomes an
 // attack amplifier on the vRAN.
+//
+// Admission is a token bucket holding MaxQueries tokens refilled at
+// MaxQueries per Window, so a burst straddling a window boundary can
+// never admit more than one bucket's worth — the failure mode of a
+// hard fixed-window reset.
 type LoadShed struct {
-	// Clock supplies time; required.
+	// Clock supplies time. Nil means a wall clock, initialized on
+	// first use.
 	Clock vclock.Clock
-	// Window is the measurement window. Zero means 1s.
+	// Window is the refill period for a full bucket. Zero means 1s.
 	Window time.Duration
-	// MaxQueries is the number of queries tolerated per window before
-	// shedding starts. Zero disables shedding.
+	// MaxQueries is the bucket capacity (and the refill amount per
+	// Window). Zero disables shedding.
 	MaxQueries int
 	// Fallback, when non-nil, handles shed queries (e.g. a Forward to
 	// the provider L-DNS). When nil, shed queries are REFUSED.
 	Fallback Handler
 
 	mu     sync.Mutex
-	start  time.Duration
-	count  int
+	tokens float64
+	last   time.Duration
+	primed bool
 	shed   uint64
 	served uint64
 }
@@ -45,29 +53,39 @@ func (l *LoadShed) Shed() (shed, served uint64) {
 }
 
 // overloaded records one arrival and reports whether it exceeds the
-// window budget.
+// token-bucket budget.
 func (l *LoadShed) overloaded() bool {
 	if l.MaxQueries <= 0 {
 		return false
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.Clock == nil {
+		l.Clock = vclock.NewReal()
+	}
 	window := l.Window
 	if window <= 0 {
 		window = time.Second
 	}
 	now := l.Clock.Now()
-	if now-l.start >= window {
-		l.start = now
-		l.count = 0
+	max := float64(l.MaxQueries)
+	if !l.primed {
+		l.tokens = max
+		l.primed = true
+	} else {
+		l.tokens += float64(now-l.last) / float64(window) * max
+		if l.tokens > max {
+			l.tokens = max
+		}
 	}
-	l.count++
-	if l.count > l.MaxQueries {
-		l.shed++
-		return true
+	l.last = now
+	if l.tokens >= 1 {
+		l.tokens--
+		l.served++
+		return false
 	}
-	l.served++
-	return false
+	l.shed++
+	return true
 }
 
 // ServeDNS implements Plugin.
@@ -86,12 +104,25 @@ func (l *LoadShed) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, n
 	return next.ServeDNS(ctx, w, r)
 }
 
-// Metrics counts queries by type and response code.
+// Metrics counts queries by type and response code and records a
+// per-query ServeDNS duration histogram, so the Fig-5 latency
+// decomposition is observable on a live server, not only in simnet
+// traces.
 type Metrics struct {
+	// Clock supplies the duration measurements. Nil means a wall
+	// clock, initialized on first use; set the simnet clock so the
+	// histogram reflects virtual time in experiments.
+	Clock vclock.Clock
+	// MaxLatencySamples bounds the retained duration observations
+	// (a ring keeping the most recent ones). Zero means 4096.
+	MaxLatencySamples int
+
 	mu      sync.Mutex
 	total   uint64
 	byType  map[dnswire.Type]uint64
 	byRcode map[dnswire.Rcode]uint64
+	durs    []time.Duration
+	durNext int
 }
 
 // NewMetrics returns an empty counter set.
@@ -107,11 +138,31 @@ func (m *Metrics) Name() string { return "metrics" }
 
 // ServeDNS implements Plugin.
 func (m *Metrics) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
+	m.mu.Lock()
+	if m.Clock == nil {
+		m.Clock = vclock.NewReal()
+	}
+	clock := m.Clock
+	m.mu.Unlock()
+
+	start := clock.Now()
 	rcode, err := next.ServeDNS(ctx, w, r)
+	elapsed := clock.Now() - start
+
 	m.mu.Lock()
 	m.total++
 	m.byType[r.Type()]++
 	m.byRcode[rcode]++
+	limit := m.MaxLatencySamples
+	if limit <= 0 {
+		limit = 4096
+	}
+	if len(m.durs) < limit {
+		m.durs = append(m.durs, elapsed)
+	} else {
+		m.durs[m.durNext] = elapsed
+	}
+	m.durNext = (m.durNext + 1) % limit
 	m.mu.Unlock()
 	return rcode, err
 }
@@ -135,4 +186,18 @@ func (m *Metrics) CountByType(t dnswire.Type) uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.byType[t]
+}
+
+// Latency returns a stats.Sample of the retained per-query ServeDNS
+// durations (the most recent MaxLatencySamples observations).
+func (m *Metrics) Latency() *stats.Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return stats.FromDurations(m.durs)
+}
+
+// LatencyBar summarizes the retained durations with the paper's
+// trimmed-mean/min/max bar methodology.
+func (m *Metrics) LatencyBar() stats.Bar {
+	return m.Latency().PaperBar()
 }

@@ -11,14 +11,18 @@
 //
 //   - Zone: authoritative answers from in-memory zones (the
 //     orchestrator's service registry, A-DNS emulation, C-DNS glue)
-//   - Cache: TTL-honouring response cache with negative caching
-//   - Forward: upstream forwarding with failover (provider L-DNS)
+//   - Cache: sharded TTL-honouring response cache with negative
+//     caching and singleflight miss coalescing
+//   - Forward: upstream forwarding with rcode-aware failover,
+//     per-upstream health cooldowns, and optional hedged queries
+//     (provider L-DNS)
 //   - Stub: sub-domain delegation to an upstream (CoreDNS
-//     stub-domain, used to hand the CDN domain to the C-DNS)
+//     stub-domain, used to hand the CDN domain to the C-DNS);
+//     safe for live reconfiguration
 //   - Split: split-horizon namespaces (internal VNF vs public MEC-CDN)
 //   - ECS: EDNS Client Subnet attachment and scrubbing (RFC 7871)
-//   - LoadShed: ingress-load threshold switching (DoS mitigation)
-//   - Metrics: query/rcode/hit counters
+//   - LoadShed: token-bucket ingress admission (DoS mitigation)
+//   - Metrics: query/rcode counters and a ServeDNS duration histogram
 package dnsserver
 
 import (

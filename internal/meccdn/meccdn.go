@@ -200,10 +200,12 @@ func DeploySite(tb *lte.Testbed, cfg SiteConfig) (*Site, error) {
 	upClient.SetRand(net.Rand())
 
 	site.stub = dnsserver.NewStub(upClient)
+	site.stub.Clock = net.Clock
 	site.stub.Route(cfg.Domain, site.CDNS)
 
 	site.MsgCache = dnsserver.NewCache(net.Clock)
 	site.Metrics = dnsserver.NewMetrics()
+	site.Metrics.Clock = net.Clock
 
 	publicPlugins := []dnsserver.Plugin{site.Metrics}
 	if cfg.MaxIngressQPS > 0 {
@@ -216,6 +218,7 @@ func DeploySite(tb *lte.Testbed, cfg SiteConfig) (*Site, error) {
 			site.Shed.Fallback = dnsserver.Chain(&dnsserver.Forward{
 				Upstreams: []netip.AddrPort{cfg.ProviderLDNS},
 				Client:    upClient,
+				Clock:     net.Clock,
 			})
 		}
 		publicPlugins = append(publicPlugins, site.Shed)
@@ -234,6 +237,7 @@ func DeploySite(tb *lte.Testbed, cfg SiteConfig) (*Site, error) {
 		publicPlugins = append(publicPlugins, &dnsserver.Forward{
 			Upstreams: []netip.AddrPort{cfg.ProviderLDNS},
 			Client:    upClient,
+			Clock:     net.Clock,
 		})
 	}
 
