@@ -2,9 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench experiments examples cover clean
+.PHONY: all ci build test race vet bench experiments examples cover clean
 
 all: vet test race build
+
+# The gate a commit must pass: static checks, a full build, and the
+# test suite under the race detector.
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

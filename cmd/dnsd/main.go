@@ -7,16 +7,23 @@
 //
 //	dnsd -listen 127.0.0.1:5353 -zone mycdn.ciab.test.=./mycdn.zone \
 //	     -stub cdn.example.=192.0.2.53:53 -forward 9.9.9.9:53,8.8.8.8:53 \
-//	     -hedge 25ms -cooldown 5s -cache-shards 16
+//	     -hedge 25ms -cooldown 5s -cache-shards 16 -admin 127.0.0.1:8053
 //
 // Flags may repeat: -zone and -stub accumulate. -forward and stub
 // upstreams take comma-separated lists tried in order, with automatic
 // failover on SERVFAIL/REFUSED and per-upstream cooldowns; -hedge
 // races a second upstream after the given delay for tail-latency
 // control.
+//
+// -admin starts a side HTTP listener with /metrics (Prometheus text),
+// /healthz (503 while draining), /querylog (sampled JSON-lines trace,
+// rate set by -qlog-sample) and /debug/pprof. On SIGTERM/SIGINT the
+// server drains: it stops accepting, waits up to -drain for in-flight
+// queries, then prints the session's stats.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/netip"
@@ -43,6 +50,10 @@ func main() {
 		maxFailures = flag.Int("max-failures", 3, "consecutive upstream failures before the cooldown trips")
 		cacheSize   = flag.Int("cache-entries", 4096, "response cache capacity in entries")
 		cacheShards = flag.Int("cache-shards", 16, "response cache shard count (reduced automatically for small caches)")
+		admin       = flag.String("admin", "", "admin HTTP address serving /metrics, /healthz, /querylog and /debug/pprof (empty disables)")
+		qlogSample  = flag.Int("qlog-sample", 16, "head-sample 1 in N queries into the query log (<=1 keeps all)")
+		qlogCap     = flag.Int("qlog-cap", 1024, "query-log ring capacity; oldest entries are overwritten")
+		drain       = flag.Duration("drain", 5*time.Second, "graceful-drain budget for in-flight queries on shutdown")
 		zones       repeated
 		stubs       repeated
 	)
@@ -58,6 +69,10 @@ func main() {
 		maxFailures: *maxFailures,
 		cacheSize:   *cacheSize,
 		cacheShards: *cacheShards,
+		admin:       *admin,
+		qlogSample:  *qlogSample,
+		qlogCap:     *qlogCap,
+		drain:       *drain,
 		zones:       zones,
 		stubs:       stubs,
 	}
@@ -73,23 +88,53 @@ type serverConfig struct {
 	hedge, cooldown        time.Duration
 	maxFailures            int
 	cacheSize, cacheShards int
+	admin                  string
+	qlogSample, qlogCap    int
+	drain                  time.Duration
 	zones, stubs           []string
 }
 
+// daemon is the assembled-but-not-started server process.
+type daemon struct {
+	srv     *meccdn.DNSServer
+	metrics *meccdn.DNSMetrics
+	cache   *meccdn.DNSCache
+	hub     *meccdn.Telemetry
+	admin   *meccdn.TelemetryAdmin // nil unless -admin was given
+}
+
 func run(cfg serverConfig) error {
-	srv, metrics, cache, err := build(cfg)
+	d, err := build(cfg)
 	if err != nil {
 		return err
 	}
-	if err := srv.Start(); err != nil {
+	if err := d.srv.Start(); err != nil {
 		return err
 	}
-	fmt.Printf("dnsd listening on %v (UDP+TCP); Ctrl-C to stop\n", srv.LocalAddr())
+	if d.admin != nil {
+		if err := d.admin.Start(); err != nil {
+			d.srv.Close()
+			return err
+		}
+		defer d.admin.Close()
+		fmt.Printf("admin endpoint on http://%v (/metrics /healthz /querylog /debug/pprof)\n", d.admin.LocalAddr())
+	}
+	fmt.Printf("dnsd listening on %v (UDP+TCP); Ctrl-C to stop\n", d.srv.LocalAddr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Printf("\nshutting down; served %d queries\n", metrics.Total())
+
+	// Graceful drain: stop accepting, give in-flight queries a bounded
+	// window to finish, then report what the process saw.
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	fmt.Printf("\ndraining (up to %v)...\n", cfg.drain)
+	if err := d.srv.Shutdown(drainCtx); err != nil {
+		fmt.Printf("drain cut short: %v\n", err)
+	}
+	metrics, cache := d.metrics, d.cache
+	fmt.Printf("served %d queries\n", metrics.Total())
 	cs := cache.Stats()
 	fmt.Printf("cache: %d entries over %d shards, %d hits / %d misses, %d coalesced, %d evictions\n",
 		cs.Entries, cs.Shards, cs.Hits, cs.Misses, cs.Coalesced, cs.Evictions)
@@ -99,11 +144,11 @@ func run(cfg serverConfig) error {
 			lat.Percentile(99).Round(time.Microsecond),
 			lat.Max().Round(time.Microsecond), lat.Len())
 	}
-	return srv.Close()
+	return nil
 }
 
 // build assembles the server from the flag values without starting it.
-func build(cfg serverConfig) (*meccdn.DNSServer, *meccdn.DNSMetrics, *meccdn.DNSCache, error) {
+func build(cfg serverConfig) (*daemon, error) {
 	metrics := meccdn.NewDNSMetrics()
 	cache := meccdn.NewDNSCache(meccdn.RealClock())
 	cache.MaxEntries = cfg.cacheSize
@@ -120,11 +165,11 @@ func build(cfg serverConfig) (*meccdn.DNSServer, *meccdn.DNSMetrics, *meccdn.DNS
 		for _, s := range cfg.stubs {
 			domain, upstream, ok := strings.Cut(s, "=")
 			if !ok {
-				return nil, nil, nil, fmt.Errorf("bad -stub %q, want domain=host:port", s)
+				return nil, fmt.Errorf("bad -stub %q, want domain=host:port", s)
 			}
 			addrs, err := parseUpstreams(upstream)
 			if err != nil {
-				return nil, nil, nil, fmt.Errorf("bad stub upstream %q: %w", upstream, err)
+				return nil, fmt.Errorf("bad stub upstream %q: %w", upstream, err)
 			}
 			stub.Route(domain, addrs...)
 			fmt.Printf("stub-domain %s -> %v\n", meccdn.CanonicalName(domain), addrs)
@@ -137,16 +182,16 @@ func build(cfg serverConfig) (*meccdn.DNSServer, *meccdn.DNSMetrics, *meccdn.DNS
 		for _, z := range cfg.zones {
 			origin, path, ok := strings.Cut(z, "=")
 			if !ok {
-				return nil, nil, nil, fmt.Errorf("bad -zone %q, want origin=path", z)
+				return nil, fmt.Errorf("bad -zone %q, want origin=path", z)
 			}
 			f, err := os.Open(path)
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, err
 			}
 			zone, err := meccdn.ParseZone(origin, f)
 			f.Close()
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, err
 			}
 			zp.AddZone(zone)
 			fmt.Printf("authoritative for %s (%d names)\n", zone.Origin, len(zone.Names()))
@@ -154,23 +199,51 @@ func build(cfg serverConfig) (*meccdn.DNSServer, *meccdn.DNSMetrics, *meccdn.DNS
 		plugins = append(plugins, zp)
 	}
 
+	var fwd *meccdn.Forward
 	if cfg.forward != "" {
 		addrs, err := parseUpstreams(cfg.forward)
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("bad -forward %q: %w", cfg.forward, err)
+			return nil, fmt.Errorf("bad -forward %q: %w", cfg.forward, err)
 		}
-		plugins = append(plugins, &meccdn.Forward{
+		fwd = &meccdn.Forward{
 			Upstreams:        addrs,
 			Client:           client,
 			FailureThreshold: cfg.maxFailures,
 			Cooldown:         cfg.cooldown,
 			HedgeDelay:       cfg.hedge,
-		})
+		}
+		plugins = append(plugins, fwd)
 		fmt.Printf("forwarding unmatched names to %v\n", addrs)
 	}
 
-	srv := &meccdn.DNSServer{Addr: cfg.listen, Handler: meccdn.Chain(plugins...)}
-	return srv, metrics, cache, nil
+	hub := meccdn.NewTelemetry(meccdn.RealClock())
+	hub.SampleEvery = cfg.qlogSample
+	hub.Log = meccdn.NewQueryLog(cfg.qlogCap)
+	if err := hub.Registry.Register(metrics.Collectors()...); err != nil {
+		return nil, err
+	}
+	if err := hub.Registry.Register(cache.Collectors()...); err != nil {
+		return nil, err
+	}
+	// Only the main forwarder registers: stub routes build their own
+	// Forward instances whose families would collide by name.
+	if fwd != nil {
+		if err := hub.Registry.Register(fwd.Collectors()...); err != nil {
+			return nil, err
+		}
+	}
+
+	srv := &meccdn.DNSServer{Addr: cfg.listen, Handler: meccdn.Chain(plugins...), Telemetry: hub}
+	d := &daemon{srv: srv, metrics: metrics, cache: cache, hub: hub}
+	if cfg.admin != "" {
+		d.admin = &meccdn.TelemetryAdmin{
+			Addr:     cfg.admin,
+			Registry: hub.Registry,
+			Log:      hub.Log,
+			Healthy:  func() bool { return !srv.Draining() },
+		}
+	}
+	return d, nil
 }
 
 // parseUpstreams parses a comma-separated list of host:port addresses.

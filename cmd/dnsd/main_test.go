@@ -25,10 +25,11 @@ func TestBuildAndServe(t *testing.T) {
 @ 3600 IN SOA ns hostmaster 1 7200 3600 1209600 300
 www 60 IN A 192.0.2.88
 `)
-	srv, metrics, _, err := build(serverConfig{listen: "127.0.0.1:0", zones: []string{"dnsd.test.=" + zonePath}})
+	d, err := build(serverConfig{listen: "127.0.0.1:0", zones: []string{"dnsd.test.=" + zonePath}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	srv, metrics := d.srv, d.metrics
 	if err := srv.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -67,10 +68,11 @@ func TestBuildStubAndForward(t *testing.T) {
 	defer upstream.Close()
 	up := upstream.LocalAddr().String()
 
-	srv, _, _, err := build(serverConfig{listen: "127.0.0.1:0", forward: up, stubs: []string{"cdn.test.=" + up}})
+	d, err := build(serverConfig{listen: "127.0.0.1:0", forward: up, stubs: []string{"cdn.test.=" + up}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	srv := d.srv
 	if err := srv.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -96,19 +98,19 @@ func TestBuildStubAndForward(t *testing.T) {
 }
 
 func TestBuildErrors(t *testing.T) {
-	if _, _, _, err := build(serverConfig{listen: ":0", zones: []string{"missing-equals"}}); err == nil {
+	if _, err := build(serverConfig{listen: ":0", zones: []string{"missing-equals"}}); err == nil {
 		t.Error("bad -zone accepted")
 	}
-	if _, _, _, err := build(serverConfig{listen: ":0", zones: []string{"z.test.=/no/such/file"}}); err == nil {
+	if _, err := build(serverConfig{listen: ":0", zones: []string{"z.test.=/no/such/file"}}); err == nil {
 		t.Error("missing zone file accepted")
 	}
-	if _, _, _, err := build(serverConfig{listen: ":0", stubs: []string{"noequals"}}); err == nil {
+	if _, err := build(serverConfig{listen: ":0", stubs: []string{"noequals"}}); err == nil {
 		t.Error("bad -stub accepted")
 	}
-	if _, _, _, err := build(serverConfig{listen: ":0", stubs: []string{"d.test.=notanaddr"}}); err == nil {
+	if _, err := build(serverConfig{listen: ":0", stubs: []string{"d.test.=notanaddr"}}); err == nil {
 		t.Error("bad stub upstream accepted")
 	}
-	if _, _, _, err := build(serverConfig{listen: ":0", forward: "notanaddr"}); err == nil {
+	if _, err := build(serverConfig{listen: ":0", forward: "notanaddr"}); err == nil {
 		t.Error("bad -forward accepted")
 	}
 }

@@ -27,15 +27,16 @@ func main() {
 		caches   = flag.Int("caches", 2, "edge cache instances")
 		policy   = flag.String("policy", "availability", "C-DNS policy: availability, geo, rr, load")
 		trace    = flag.Bool("trace", false, "print a per-hop packet timeline of the first request")
+		metrics  = flag.Bool("metrics", false, "dump the site's telemetry registry in Prometheus text format after the run")
 	)
 	flag.Parse()
-	if err := run(*seed, *objects, *requests, *air, *caches, *policy, *trace); err != nil {
+	if err := run(*seed, *objects, *requests, *air, *caches, *policy, *trace, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "meccdnsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, objects, requests int, air string, caches int, policy string, trace bool) error {
+func run(seed int64, objects, requests int, air string, caches int, policy string, trace, metrics bool) error {
 	airProfile := meccdn.LTE4G()
 	if air == "5g" {
 		airProfile = meccdn.NR5G()
@@ -136,5 +137,30 @@ func run(seed int64, objects, requests int, air string, caches int, policy strin
 			float64(lat.Percentile(99))/float64(time.Millisecond), lat.Len())
 	}
 	fmt.Printf("  virtual time elapsed: %v (wall time: instantaneous)\n", tb.Net.Now().Round(time.Millisecond))
+
+	if metrics {
+		// The same families a live dnsd serves on /metrics, here fed by
+		// virtual time — so simulated and real deployments report
+		// against identical metric names.
+		reg := meccdn.NewTelemetryRegistry()
+		if err := reg.Register(site.Metrics.Collectors()...); err != nil {
+			return err
+		}
+		if err := reg.Register(site.MsgCache.Collectors()...); err != nil {
+			return err
+		}
+		if err := reg.Register(site.Router.Collectors()...); err != nil {
+			return err
+		}
+		if site.Shed != nil {
+			if err := reg.Register(site.Shed.Collectors()...); err != nil {
+				return err
+			}
+		}
+		fmt.Println("\n# telemetry registry (Prometheus text exposition)")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
 }

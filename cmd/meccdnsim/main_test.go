@@ -3,18 +3,18 @@ package main
 import "testing"
 
 func TestRunDefaults(t *testing.T) {
-	if err := run(1, 10, 30, "4g", 2, "availability", false); err != nil {
+	if err := run(1, 10, 30, "4g", 2, "availability", false, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllPoliciesAndAirs(t *testing.T) {
 	for _, policy := range []string{"availability", "geo", "rr", "load"} {
-		if err := run(2, 5, 10, "5g", 3, policy, true); err != nil {
+		if err := run(2, 5, 10, "5g", 3, policy, true, false); err != nil {
 			t.Fatalf("%s: %v", policy, err)
 		}
 	}
-	if err := run(2, 5, 10, "4g", 1, "bogus", false); err == nil {
+	if err := run(2, 5, 10, "4g", 1, "bogus", false, false); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }

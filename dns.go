@@ -5,6 +5,7 @@ import (
 	"github.com/meccdn/meccdn/internal/dnsserver"
 	"github.com/meccdn/meccdn/internal/dnswire"
 	"github.com/meccdn/meccdn/internal/resolver"
+	"github.com/meccdn/meccdn/internal/telemetry"
 	"github.com/meccdn/meccdn/internal/vclock"
 )
 
@@ -161,3 +162,35 @@ func AttachDNS(node *Node, h DNSHandler, proc Sampler) { dnsserver.Attach(node, 
 
 // RealClock returns a wall clock for live servers.
 func RealClock() VClock { return vclock.NewReal() }
+
+// Telemetry: per-query spans, the metrics registry, and the sampled
+// query log, plus the admin HTTP endpoint that exposes them.
+type (
+	// Telemetry owns the per-process observability state: the span
+	// sampler, serve-duration histogram, resolution-path counters, and
+	// the bounded query log. Install one on a DNSServer to get a hop
+	// breakdown for every query.
+	Telemetry = telemetry.Hub
+	// TelemetryRegistry collects metric families for Prometheus text
+	// exposition.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryAdmin serves /metrics, /healthz, /querylog and
+	// /debug/pprof on a side HTTP listener.
+	TelemetryAdmin = telemetry.Admin
+	// TelemetryCollector is one exposable metric family.
+	TelemetryCollector = telemetry.Collector
+	// Span is one query's hop-by-hop trace.
+	Span = telemetry.Span
+	// QueryLog is the bounded ring of sampled query records.
+	QueryLog = telemetry.QueryLog
+)
+
+// NewTelemetry builds a Hub (span sampler + default DNS metric
+// families) on the given clock.
+func NewTelemetry(clock VClock) *Telemetry { return telemetry.NewHub(clock) }
+
+// NewTelemetryRegistry returns an empty metrics registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// NewQueryLog returns a bounded query-log ring.
+func NewQueryLog(capacity int) *QueryLog { return telemetry.NewQueryLog(capacity) }

@@ -9,6 +9,7 @@ import (
 	"github.com/meccdn/meccdn/internal/dnsserver"
 	"github.com/meccdn/meccdn/internal/dnswire"
 	"github.com/meccdn/meccdn/internal/geoip"
+	"github.com/meccdn/meccdn/internal/telemetry"
 )
 
 // ServerInfo is the router's view of one cache server.
@@ -163,6 +164,35 @@ type Router struct {
 
 	mu      sync.RWMutex
 	servers map[string]*ServerInfo
+
+	ctrOnce sync.Once
+	routed  *telemetry.CounterVec
+}
+
+// counters lazily builds the routing counter, so Router keeps working
+// as a plain struct literal.
+func (rt *Router) counters() *telemetry.CounterVec {
+	rt.ctrOnce.Do(func() {
+		rt.routed = telemetry.NewCounterVec("meccdn_cdn_routed_total",
+			"C-DNS routing decisions by result (selected, referral, failed, nodata).", "result")
+	})
+	return rt.routed
+}
+
+// Collectors returns the router's metric families for registration on
+// a telemetry.Registry: the routing-decision counter and a live
+// server-count gauge.
+func (rt *Router) Collectors() []telemetry.Collector {
+	return []telemetry.Collector{
+		rt.counters(),
+		telemetry.NewGaugeFunc("meccdn_cdn_servers",
+			"Cache servers currently registered with the C-DNS router.",
+			func() float64 {
+				rt.mu.RLock()
+				defer rt.mu.RUnlock()
+				return float64(len(rt.servers))
+			}),
+	}
 }
 
 // NewRouter returns a router for domain.
@@ -218,8 +248,11 @@ func (rt *Router) ServeDNS(ctx context.Context, w dnsserver.ResponseWriter, r *d
 	if !dnswire.IsSubdomain(rt.Domain, qname) {
 		return next.ServeDNS(ctx, w, r)
 	}
+	routed := rt.counters()
 	if r.Type() != dnswire.TypeA && r.Type() != dnswire.TypeANY {
 		// The CDN domain exists but we only publish A records.
+		routed.Inc("nodata")
+		telemetry.Annotate(ctx, "cdn-router", "nodata")
 		m := new(dnswire.Message)
 		m.SetReply(r.Msg)
 		m.Authoritative = true
@@ -229,18 +262,25 @@ func (rt *Router) ServeDNS(ctx context.Context, w dnsserver.ResponseWriter, r *d
 		return dnswire.RcodeSuccess, nil
 	}
 
+	endHop := telemetry.StartHop(ctx, "cdn-router")
 	selected := rt.Route(qname, rt.clientInfo(r))
 	var addr netip.Addr
 	switch {
 	case selected != nil:
 		addr = selected.Answer()
+		routed.Inc("selected")
+		endHop(selected.Server.Name)
 	case rt.Parent.IsValid():
 		// Cross-tier referral: "C-DNS simply returns the address of
 		// another C-DNS running at a different CDN tier" (§3 P2).
 		// Encoded as a proper DNS referral so clients and resolvers
 		// can chase it: NS in authority, glue in additional.
+		routed.Inc("referral")
+		endHop("referral")
 		return rt.writeReferral(w, r)
 	default:
+		routed.Inc("failed")
+		endHop("failed")
 		m := new(dnswire.Message)
 		m.SetRcode(r.Msg, dnswire.RcodeServerFailure)
 		_ = w.WriteMsg(m)

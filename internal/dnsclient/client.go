@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/telemetry"
 )
 
 // Errors returned by Client.Do.
@@ -108,12 +110,18 @@ func (c *Client) Do(ctx context.Context, server netip.AddrPort, q *dnswire.Messa
 
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
+		// Each attempt is one timed "upstream" hop on the query's
+		// span, so a live server's hop breakdown shows exactly how
+		// long was spent waiting on which resolver.
+		endHop := telemetry.StartHop(ctx, "upstream")
 		attemptCtx, cancel := context.WithTimeout(ctx, timeout)
 		resp, err := c.exchangeOnce(attemptCtx, server, wire, q, false)
 		cancel()
 		if err == nil {
+			endHop(server.String())
 			return resp, nil
 		}
+		endHop(server.String() + " err attempt=" + strconv.Itoa(attempt))
 		lastErr = err
 		if ctx.Err() != nil {
 			break

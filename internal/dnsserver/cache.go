@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/telemetry"
 	"github.com/meccdn/meccdn/internal/vclock"
 )
 
@@ -62,6 +63,15 @@ type Cache struct {
 
 	once   sync.Once
 	shards []*cacheShard
+	ctr    cacheCounters
+}
+
+// cacheCounters are the cache's effectiveness counters as telemetry
+// instruments: shared atomics across shards (replacing the old
+// per-shard ad-hoc fields), registrable on a telemetry.Registry for
+// live /metrics exposition.
+type cacheCounters struct {
+	hits, misses, negHits, expired, evictions, coalesced *telemetry.Counter
 }
 
 // cacheShard is one independently locked slice of the key space.
@@ -70,7 +80,7 @@ type cacheShard struct {
 	items   map[string]*list.Element
 	lru     *list.List
 	max     int
-	stats   CacheStats
+	ctr     *cacheCounters
 	flights map[string]*flight
 }
 
@@ -99,6 +109,14 @@ func NewCache(clock vclock.Clock) *Cache {
 // MaxEntries/Shards can be set after NewCache.
 func (c *Cache) init() {
 	c.once.Do(func() {
+		c.ctr = cacheCounters{
+			hits:      telemetry.NewCounter("meccdn_dns_cache_hits_total", "Cache lookups answered from a live entry."),
+			misses:    telemetry.NewCounter("meccdn_dns_cache_misses_total", "Cache lookups with no entry for the key."),
+			negHits:   telemetry.NewCounter("meccdn_dns_cache_negative_hits_total", "Cache hits that served a negative (NXDOMAIN/NODATA) entry."),
+			expired:   telemetry.NewCounter("meccdn_dns_cache_expired_total", "Cache lookups that found an entry past its TTL."),
+			evictions: telemetry.NewCounter("meccdn_dns_cache_evictions_total", "Entries evicted by per-shard LRU pressure."),
+			coalesced: telemetry.NewCounter("meccdn_dns_cache_coalesced_total", "Queries that shared another query's in-flight upstream exchange."),
+		}
 		max := c.MaxEntries
 		if max <= 0 {
 			max = 4096
@@ -123,10 +141,28 @@ func (c *Cache) init() {
 				items:   make(map[string]*list.Element),
 				lru:     list.New(),
 				max:     perShard,
+				ctr:     &c.ctr,
 				flights: make(map[string]*flight),
 			}
 		}
 	})
+}
+
+// Collectors returns the cache's metric families for registration on
+// a telemetry.Registry: the effectiveness counters plus entry/shard
+// gauges snapshotted at scrape time.
+func (c *Cache) Collectors() []telemetry.Collector {
+	c.init()
+	return []telemetry.Collector{
+		c.ctr.hits, c.ctr.misses, c.ctr.negHits, c.ctr.expired,
+		c.ctr.evictions, c.ctr.coalesced,
+		telemetry.NewGaugeFunc("meccdn_dns_cache_entries",
+			"Live entries across all cache shards.",
+			func() float64 { return float64(c.Stats().Entries) }),
+		telemetry.NewGaugeFunc("meccdn_dns_cache_shards",
+			"Number of independent cache shards.",
+			func() float64 { return float64(len(c.shards)) }),
+	}
 }
 
 // shard returns the shard owning key. The FNV-1a hash is inlined so
@@ -151,22 +187,23 @@ func (c *Cache) shard(key string) *cacheShard {
 // Name implements Plugin.
 func (c *Cache) Name() string { return "cache" }
 
-// Stats returns a snapshot of the counters summed over all shards.
+// Stats returns a snapshot of the counters.
 func (c *Cache) Stats() CacheStats {
 	c.init()
-	var s CacheStats
+	s := CacheStats{
+		Hits:         c.ctr.hits.Value(),
+		Misses:       c.ctr.misses.Value(),
+		NegativeHits: c.ctr.negHits.Value(),
+		Expired:      c.ctr.expired.Value(),
+		Evictions:    c.ctr.evictions.Value(),
+		Coalesced:    c.ctr.coalesced.Value(),
+		Shards:       len(c.shards),
+	}
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		s.Hits += sh.stats.Hits
-		s.Misses += sh.stats.Misses
-		s.NegativeHits += sh.stats.NegativeHits
-		s.Expired += sh.stats.Expired
-		s.Evictions += sh.stats.Evictions
-		s.Coalesced += sh.stats.Coalesced
 		s.Entries += sh.lru.Len()
 		sh.mu.Unlock()
 	}
-	s.Shards = len(c.shards)
 	return s
 }
 
@@ -193,13 +230,16 @@ func cacheKey(r *Request) string {
 func (c *Cache) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
 	key := cacheKey(r)
 	sh := c.shard(key)
+	endLookup := telemetry.StartHop(ctx, "cache")
 	if msg, ok := sh.lookup(key, c.Clock.Now()); ok {
+		endLookup("hit")
 		msg.ID = r.Msg.ID
 		if err := w.WriteMsg(msg); err != nil {
 			return dnswire.RcodeServerFailure, err
 		}
 		return msg.Rcode, nil
 	}
+	endLookup("miss")
 	if c.DisableCoalescing {
 		return c.fill(ctx, sh, nil, key, w, r, next)
 	}
@@ -208,11 +248,14 @@ func (c *Cache) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next
 	// become the leader of a new one.
 	sh.mu.Lock()
 	if f, ok := sh.flights[key]; ok {
-		sh.stats.Coalesced++
+		c.ctr.coalesced.Inc()
 		sh.mu.Unlock()
+		endWait := telemetry.StartHop(ctx, "coalesce")
 		select {
 		case <-f.done:
+			endWait("shared")
 		case <-ctx.Done():
+			endWait("canceled")
 			return dnswire.RcodeServerFailure, ctx.Err()
 		}
 		if f.msg == nil {
@@ -268,24 +311,25 @@ func (sh *cacheShard) lookup(key string, now time.Duration) (*dnswire.Message, b
 	sh.mu.Lock()
 	el, ok := sh.items[key]
 	if !ok {
-		sh.stats.Misses++
 		sh.mu.Unlock()
+		sh.ctr.misses.Inc()
 		return nil, false
 	}
 	ent := el.Value.(*cacheEntry)
 	if now >= ent.expires {
 		sh.lru.Remove(el)
 		delete(sh.items, key)
-		sh.stats.Expired++
 		sh.mu.Unlock()
+		sh.ctr.expired.Inc()
 		return nil, false
 	}
 	sh.lru.MoveToFront(el)
-	sh.stats.Hits++
-	if ent.msg.Rcode != dnswire.RcodeSuccess || len(ent.msg.Answers) == 0 {
-		sh.stats.NegativeHits++
-	}
+	negative := ent.msg.Rcode != dnswire.RcodeSuccess || len(ent.msg.Answers) == 0
 	sh.mu.Unlock()
+	sh.ctr.hits.Inc()
+	if negative {
+		sh.ctr.negHits.Inc()
+	}
 
 	msg := ent.msg.Clone()
 	// Age the TTLs by the time spent in cache.
@@ -334,7 +378,7 @@ func (c *Cache) store(sh *cacheShard, key string, msg *dnswire.Message) {
 		oldest := sh.lru.Back()
 		sh.lru.Remove(oldest)
 		delete(sh.items, oldest.Value.(*cacheEntry).key)
-		sh.stats.Evictions++
+		sh.ctr.evictions.Inc()
 	}
 	sh.items[key] = sh.lru.PushFront(ent)
 }

@@ -10,6 +10,7 @@ import (
 
 	"github.com/meccdn/meccdn/internal/dnsclient"
 	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/telemetry"
 	"github.com/meccdn/meccdn/internal/vclock"
 )
 
@@ -81,7 +82,38 @@ type Forward struct {
 
 	mu     sync.Mutex
 	health map[netip.AddrPort]*upstreamHealth
-	stats  ForwardStats
+
+	ctrOnce sync.Once
+	ctr     forwardCounters
+}
+
+// forwardCounters are the forwarding counters as lock-free telemetry
+// instruments (replacing the old mutex-guarded stats struct, which
+// contended with the health map on every query).
+type forwardCounters struct {
+	queries, failovers, skipped, hedged, hedgeWins *telemetry.Counter
+}
+
+// counters lazily builds the instruments, so Forward keeps working as
+// a plain struct literal.
+func (f *Forward) counters() *forwardCounters {
+	f.ctrOnce.Do(func() {
+		f.ctr = forwardCounters{
+			queries:   telemetry.NewCounter("meccdn_dns_forward_queries_total", "Queries sent to upstream resolvers."),
+			failovers: telemetry.NewCounter("meccdn_dns_forward_failovers_total", "Answers obtained from an upstream other than the first tried."),
+			skipped:   telemetry.NewCounter("meccdn_dns_forward_skipped_total", "Upstream demotions due to an active failure cooldown."),
+			hedged:    telemetry.NewCounter("meccdn_dns_forward_hedged_total", "Queries for which a hedged second exchange was launched."),
+			hedgeWins: telemetry.NewCounter("meccdn_dns_forward_hedge_wins_total", "Hedged exchanges the second upstream answered first."),
+		}
+	})
+	return &f.ctr
+}
+
+// Collectors returns the forwarder's metric families for registration
+// on a telemetry.Registry.
+func (f *Forward) Collectors() []telemetry.Collector {
+	c := f.counters()
+	return []telemetry.Collector{c.queries, c.failovers, c.skipped, c.hedged, c.hedgeWins}
 }
 
 // Name implements Plugin.
@@ -89,9 +121,14 @@ func (f *Forward) Name() string { return "forward" }
 
 // Stats returns a snapshot of the forwarding counters.
 func (f *Forward) Stats() ForwardStats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	c := f.counters()
+	return ForwardStats{
+		Queries:   c.queries.Value(),
+		Failovers: c.failovers.Value(),
+		Skipped:   c.skipped.Value(),
+		Hedged:    c.hedged.Value(),
+		HedgeWins: c.hedgeWins.Value(),
+	}
 }
 
 // now returns the health clock's time, defaulting to a wall clock.
@@ -119,7 +156,7 @@ func (f *Forward) candidates() []netip.AddrPort {
 	for _, up := range f.Upstreams {
 		if h, ok := f.health[up]; ok && now < h.downUntil {
 			cooling = append(cooling, up)
-			f.stats.Skipped++
+			f.counters().skipped.Inc()
 			continue
 		}
 		healthy = append(healthy, up)
@@ -182,9 +219,9 @@ func (f *Forward) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, ne
 	if len(ups) == 0 {
 		return dnswire.RcodeServerFailure, fmt.Errorf("forwarding %s: no upstreams configured", r.Name())
 	}
-	f.mu.Lock()
-	f.stats.Queries++
-	f.mu.Unlock()
+	ctr := f.counters()
+	ctr.queries.Inc()
+	endHop := telemetry.StartHop(ctx, "forward")
 
 	var lastErr error
 	var lastResp *dnswire.Message
@@ -194,9 +231,10 @@ func (f *Forward) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, ne
 		resp, fromHedge, ok := f.hedgedExchange(ctx, ups[0], ups[1], r)
 		if ok {
 			if fromHedge {
-				f.mu.Lock()
-				f.stats.Failovers++ // answered by other than the first upstream
-				f.mu.Unlock()
+				ctr.failovers.Inc() // answered by other than the first upstream
+				endHop("hedge:" + ups[1].String())
+			} else {
+				endHop(ups[0].String())
 			}
 			return writeUpstream(w, r, resp)
 		}
@@ -219,20 +257,21 @@ func (f *Forward) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, ne
 		}
 		f.recordSuccess(up)
 		if i > 0 || hedgeFell {
-			f.mu.Lock()
-			f.stats.Failovers++
-			f.mu.Unlock()
+			ctr.failovers.Inc()
 		}
+		endHop(up.String())
 		return writeUpstream(w, r, resp)
 	}
 	if lastResp != nil {
 		// Every upstream answered with SERVFAIL/REFUSED; relay the
 		// last verdict rather than synthesizing our own.
+		endHop("relayed-failure")
 		return writeUpstream(w, r, lastResp)
 	}
 	if lastErr == nil {
 		lastErr = errors.New("all upstreams failed")
 	}
+	endHop("error")
 	return dnswire.RcodeServerFailure, fmt.Errorf("forwarding %s: %w", r.Name(), lastErr)
 }
 
@@ -272,9 +311,7 @@ func (f *Forward) hedgedExchange(ctx context.Context, primary, secondary netip.A
 	hedge := func() {
 		launch(secondary)
 		launched = 2
-		f.mu.Lock()
-		f.stats.Hedged++
-		f.mu.Unlock()
+		f.counters().hedged.Inc()
 	}
 	for received := 0; received < launched; {
 		select {
@@ -283,9 +320,7 @@ func (f *Forward) hedgedExchange(ctx context.Context, primary, secondary netip.A
 			if res.err == nil && !failoverRcode(res.resp.Rcode) {
 				f.recordSuccess(res.up)
 				if res.up == secondary {
-					f.mu.Lock()
-					f.stats.HedgeWins++
-					f.mu.Unlock()
+					f.counters().hedgeWins.Inc()
 					return res.resp, true, true
 				}
 				return res.resp, false, true
@@ -371,29 +406,32 @@ func (s *Stub) Unroute(domain string) {
 // Name implements Plugin.
 func (s *Stub) Name() string { return "stub" }
 
-// match returns the forwarder for the longest matching stub domain.
-func (s *Stub) match(qname string) *Forward {
+// match returns the forwarder and domain of the longest matching stub
+// route.
+func (s *Stub) match(qname string) (*Forward, string) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var best *stubRoute
+	bestDomain := ""
 	for domain, rt := range s.routes {
 		if dnswire.IsSubdomain(domain, qname) {
 			if best == nil || rt.labels > best.labels {
-				best = rt
+				best, bestDomain = rt, domain
 			}
 		}
 	}
 	if best == nil {
-		return nil
+		return nil, ""
 	}
-	return best.fwd
+	return best.fwd, bestDomain
 }
 
 // ServeDNS implements Plugin.
 func (s *Stub) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
-	fwd := s.match(r.Name())
+	fwd, domain := s.match(r.Name())
 	if fwd == nil {
 		return next.ServeDNS(ctx, w, r)
 	}
+	telemetry.Annotate(ctx, "stub", domain)
 	return fwd.ServeDNS(ctx, w, r, next)
 }

@@ -7,6 +7,7 @@ import (
 
 	"github.com/meccdn/meccdn/internal/dnswire"
 	"github.com/meccdn/meccdn/internal/stats"
+	"github.com/meccdn/meccdn/internal/telemetry"
 	"github.com/meccdn/meccdn/internal/vclock"
 )
 
@@ -37,19 +38,36 @@ type LoadShed struct {
 	tokens float64
 	last   time.Duration
 	primed bool
-	shed   uint64
-	served uint64
+
+	ctrOnce      sync.Once
+	shed, served *telemetry.Counter
 }
 
 // Name implements Plugin.
 func (l *LoadShed) Name() string { return "loadshed" }
 
+// counters lazily builds the admission counters as telemetry
+// instruments, so LoadShed keeps working as a plain struct literal.
+func (l *LoadShed) counters() (shed, served *telemetry.Counter) {
+	l.ctrOnce.Do(func() {
+		l.shed = telemetry.NewCounter("meccdn_dns_loadshed_shed_total", "Queries diverted to the fallback or refused by admission control.")
+		l.served = telemetry.NewCounter("meccdn_dns_loadshed_served_total", "Queries admitted past the token bucket.")
+	})
+	return l.shed, l.served
+}
+
+// Collectors returns the admission metric families for registration
+// on a telemetry.Registry.
+func (l *LoadShed) Collectors() []telemetry.Collector {
+	shed, served := l.counters()
+	return []telemetry.Collector{shed, served}
+}
+
 // Shed returns how many queries were diverted or refused, and how many
 // passed through.
 func (l *LoadShed) Shed() (shed, served uint64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.shed, l.served
+	sc, vc := l.counters()
+	return sc.Value(), vc.Value()
 }
 
 // overloaded records one arrival and reports whether it exceeds the
@@ -58,6 +76,7 @@ func (l *LoadShed) overloaded() bool {
 	if l.MaxQueries <= 0 {
 		return false
 	}
+	shedCtr, servedCtr := l.counters()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.Clock == nil {
@@ -81,16 +100,17 @@ func (l *LoadShed) overloaded() bool {
 	l.last = now
 	if l.tokens >= 1 {
 		l.tokens--
-		l.served++
+		servedCtr.Inc()
 		return false
 	}
-	l.shed++
+	shedCtr.Inc()
 	return true
 }
 
 // ServeDNS implements Plugin.
 func (l *LoadShed) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
 	if l.overloaded() {
+		telemetry.Annotate(ctx, "loadshed", "shed")
 		if l.Fallback != nil {
 			return l.Fallback.ServeDNS(ctx, w, r)
 		}
@@ -104,8 +124,10 @@ func (l *LoadShed) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, n
 	return next.ServeDNS(ctx, w, r)
 }
 
-// Metrics counts queries by type and response code and records a
-// per-query ServeDNS duration histogram, so the Fig-5 latency
+// Metrics counts queries by type and response code and records the
+// per-query ServeDNS duration twice over: a fixed-bucket telemetry
+// histogram for live Prometheus exposition, and a bounded ring of
+// recent observations for exact percentiles — so the Fig-5 latency
 // decomposition is observable on a live server, not only in simnet
 // traces.
 type Metrics struct {
@@ -117,20 +139,39 @@ type Metrics struct {
 	// (a ring keeping the most recent ones). Zero means 4096.
 	MaxLatencySamples int
 
+	ctrOnce  sync.Once
+	queries  *telemetry.CounterVec
+	rcodes   *telemetry.CounterVec
+	duration *telemetry.Histogram
+
 	mu      sync.Mutex
-	total   uint64
-	byType  map[dnswire.Type]uint64
-	byRcode map[dnswire.Rcode]uint64
 	durs    []time.Duration
 	durNext int
 }
 
 // NewMetrics returns an empty counter set.
 func NewMetrics() *Metrics {
-	return &Metrics{
-		byType:  make(map[dnswire.Type]uint64),
-		byRcode: make(map[dnswire.Rcode]uint64),
-	}
+	m := &Metrics{}
+	m.instruments()
+	return m
+}
+
+// instruments lazily builds the telemetry families, so Metrics also
+// works as a plain struct literal.
+func (m *Metrics) instruments() (queries, rcodes *telemetry.CounterVec, duration *telemetry.Histogram) {
+	m.ctrOnce.Do(func() {
+		m.queries = telemetry.NewCounterVec("meccdn_dns_queries_total", "Queries served, by question type.", "type")
+		m.rcodes = telemetry.NewCounterVec("meccdn_dns_responses_total", "Responses produced, by response code.", "rcode")
+		m.duration = telemetry.NewHistogram("meccdn_dns_handler_duration_seconds", "Plugin-chain ServeDNS duration per query.")
+	})
+	return m.queries, m.rcodes, m.duration
+}
+
+// Collectors returns the metric families for registration on a
+// telemetry.Registry.
+func (m *Metrics) Collectors() []telemetry.Collector {
+	queries, rcodes, duration := m.instruments()
+	return []telemetry.Collector{queries, rcodes, duration}
 }
 
 // Name implements Plugin.
@@ -138,6 +179,7 @@ func (m *Metrics) Name() string { return "metrics" }
 
 // ServeDNS implements Plugin.
 func (m *Metrics) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
+	queries, rcodes, duration := m.instruments()
 	m.mu.Lock()
 	if m.Clock == nil {
 		m.Clock = vclock.NewReal()
@@ -149,10 +191,11 @@ func (m *Metrics) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, ne
 	rcode, err := next.ServeDNS(ctx, w, r)
 	elapsed := clock.Now() - start
 
+	queries.Inc(r.Type().String())
+	rcodes.Inc(rcode.String())
+	duration.Observe(elapsed)
+
 	m.mu.Lock()
-	m.total++
-	m.byType[r.Type()]++
-	m.byRcode[rcode]++
 	limit := m.MaxLatencySamples
 	if limit <= 0 {
 		limit = 4096
@@ -169,23 +212,20 @@ func (m *Metrics) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, ne
 
 // Total returns the number of queries observed.
 func (m *Metrics) Total() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.total
+	_, rcodes, _ := m.instruments()
+	return rcodes.Sum()
 }
 
 // CountByRcode returns the count for one response code.
 func (m *Metrics) CountByRcode(rc dnswire.Rcode) uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.byRcode[rc]
+	_, rcodes, _ := m.instruments()
+	return rcodes.Value(rc.String())
 }
 
 // CountByType returns the count for one query type.
 func (m *Metrics) CountByType(t dnswire.Type) uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.byType[t]
+	queries, _, _ := m.instruments()
+	return queries.Value(t.String())
 }
 
 // Latency returns a stats.Sample of the retained per-query ServeDNS

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/telemetry"
 )
 
 // Request carries one inbound query and its connection metadata.
@@ -146,12 +147,19 @@ type Server struct {
 	Handler Handler
 	// ReadTimeout bounds TCP reads. Zero means 10s.
 	ReadTimeout time.Duration
+	// Telemetry, when non-nil, opens a span for every query (carried
+	// through the plugin chain via the request context), observes the
+	// client-visible serve duration, and feeds the sampled query log.
+	Telemetry *telemetry.Hub
 
-	mu      sync.Mutex
-	udp     *net.UDPConn
-	tcp     net.Listener
-	started bool
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	udp      *net.UDPConn
+	tcp      net.Listener
+	conns    map[net.Conn]struct{}
+	started  bool
+	draining bool
+	wg       sync.WaitGroup
+	inflight sync.WaitGroup
 }
 
 // Start begins serving on UDP and TCP. It returns once the sockets
@@ -179,11 +187,65 @@ func (s *Server) Start() error {
 		s.udp.Close()
 		return fmt.Errorf("listening tcp: %w", err)
 	}
+	s.conns = make(map[net.Conn]struct{})
 	s.started = true
 	s.wg.Add(2)
 	go s.serveUDP()
 	go s.serveTCP()
 	return nil
+}
+
+// Draining reports whether a graceful Shutdown is in progress (or
+// finished); the admin /healthz probe keys off this.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown gracefully drains the server: it stops accepting new
+// queries immediately, waits — bounded by ctx — for in-flight queries
+// to finish and their responses to be written, then closes the
+// sockets. It returns ctx.Err() when the deadline cut the drain
+// short, nil when every in-flight query completed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.started || s.draining {
+		s.mu.Unlock()
+		return s.Close()
+	}
+	s.draining = true
+	udp, tcp := s.udp, s.tcp
+	s.mu.Unlock()
+
+	// Stop the intake: no new TCP connections, and unblock the UDP
+	// read loop via an immediate deadline. The UDP socket itself must
+	// stay open so in-flight handlers can still write responses.
+	tcp.Close()
+	_ = udp.SetReadDeadline(time.Now())
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	// Tear down what remains: the UDP socket and any TCP connections
+	// still mid-stream (idle keepalives, or queries the deadline cut).
+	udp.Close()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
 }
 
 // LocalAddr returns the bound UDP address; valid after Start.
@@ -210,17 +272,48 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// track registers one in-flight query. It returns false once a drain
+// has begun, in which case the query must be dropped; the mutex
+// ordering guarantees no tracked query starts after Shutdown begins
+// waiting.
+func (s *Server) track() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// begin opens a telemetry span for req and attaches it to ctx;
+// without a Telemetry hub it returns ctx unchanged and a nil span
+// (every span method is nil-safe).
+func (s *Server) begin(ctx context.Context, req *Request) (context.Context, *telemetry.Span) {
+	if s.Telemetry == nil {
+		return ctx, nil
+	}
+	sp := s.Telemetry.Begin(req.Name(), req.Type().String(), req.Transport, req.Client.String())
+	return telemetry.ContextWith(ctx, sp), sp
+}
+
 func (s *Server) serveUDP() {
 	defer s.wg.Done()
 	buf := make([]byte, dnswire.MaxMessageSize)
 	for {
 		n, raddr, err := s.udp.ReadFromUDPAddrPort(buf)
 		if err != nil {
-			return // closed
+			return // closed or draining
+		}
+		if !s.track() {
+			return // draining: stop accepting
 		}
 		pkt := make([]byte, n)
 		copy(pkt, buf[:n])
-		go s.handlePacket(pkt, raddr)
+		go func() {
+			defer s.inflight.Done()
+			s.handlePacket(pkt, raddr)
+		}()
 	}
 }
 
@@ -230,7 +323,8 @@ func (s *Server) handlePacket(pkt []byte, raddr netip.AddrPort) {
 		return // not DNS; drop like a real server
 	}
 	req := &Request{Msg: msg, Client: raddr, Transport: "udp"}
-	resp := Resolve(context.Background(), s.Handler, req)
+	ctx, sp := s.begin(context.Background(), req)
+	resp := Resolve(ctx, s.Handler, req)
 
 	// Honour the client's advertised payload size.
 	size := dnswire.MaxUDPSize
@@ -242,9 +336,11 @@ func (s *Server) handlePacket(pkt []byte, raddr netip.AddrPort) {
 	resp.TruncateTo(size)
 	wire, err := resp.Pack()
 	if err != nil {
+		s.Telemetry.Finish(sp, dnswire.RcodeServerFailure.String())
 		return
 	}
 	_, _ = s.udp.WriteToUDPAddrPort(wire, raddr)
+	s.Telemetry.Finish(sp, resp.Rcode.String())
 }
 
 func (s *Server) serveTCP() {
@@ -254,12 +350,25 @@ func (s *Server) serveTCP() {
 		if err != nil {
 			return // closed
 		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		go s.handleConn(conn)
 	}
 }
 
 func (s *Server) handleConn(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
 	timeout := s.ReadTimeout
 	if timeout <= 0 {
 		timeout = 10 * time.Second
@@ -271,18 +380,33 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		msg := new(dnswire.Message)
-		if err := msg.Unpack(pkt); err != nil {
-			return
+		if !s.track() {
+			return // draining: stop accepting
 		}
-		req := &Request{Msg: msg, Client: raddr, Transport: "tcp"}
-		resp := Resolve(context.Background(), s.Handler, req)
-		wire, err := resp.Pack()
+		err = s.serveTCPQuery(conn, pkt, raddr)
+		s.inflight.Done()
 		if err != nil {
 			return
 		}
-		if err := dnswire.WriteTCP(conn, wire); err != nil {
-			return
-		}
 	}
+}
+
+// serveTCPQuery resolves one message from a TCP stream and writes the
+// response back on the same connection.
+func (s *Server) serveTCPQuery(conn net.Conn, pkt []byte, raddr netip.AddrPort) error {
+	msg := new(dnswire.Message)
+	if err := msg.Unpack(pkt); err != nil {
+		return err
+	}
+	req := &Request{Msg: msg, Client: raddr, Transport: "tcp"}
+	ctx, sp := s.begin(context.Background(), req)
+	resp := Resolve(ctx, s.Handler, req)
+	wire, err := resp.Pack()
+	if err != nil {
+		s.Telemetry.Finish(sp, dnswire.RcodeServerFailure.String())
+		return err
+	}
+	err = dnswire.WriteTCP(conn, wire)
+	s.Telemetry.Finish(sp, resp.Rcode.String())
+	return err
 }

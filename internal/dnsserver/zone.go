@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/telemetry"
 )
 
 // Zone is an in-memory authoritative zone. It supports exact matches,
@@ -298,7 +299,9 @@ func (p *ZonePlugin) ServeDNS(ctx context.Context, w ResponseWriter, r *Request,
 	if z == nil {
 		return next.ServeDNS(ctx, w, r)
 	}
+	endHop := telemetry.StartHop(ctx, "zone")
 	result, answers, authority := z.Lookup(r.Name(), r.Type())
+	endHop(z.Origin)
 	m := new(dnswire.Message)
 	m.SetReply(r.Msg)
 	m.Authoritative = true

@@ -35,8 +35,10 @@ func (s *Sample) Add(d time.Duration) {
 // Len returns the number of observations.
 func (s *Sample) Len() int { return len(s.values) }
 
-// Values returns a copy of the observations in insertion order is not
-// guaranteed once percentile methods have been called.
+// Values returns a copy of the observations. Insertion order is not
+// guaranteed once percentile methods have been called (they sort in
+// place). The copy is independent of the sample: callers may keep it
+// across later Add calls, and Add never mutates a returned slice.
 func (s *Sample) Values() []time.Duration {
 	return append([]time.Duration(nil), s.values...)
 }
@@ -79,9 +81,10 @@ func (s *Sample) Max() time.Duration {
 }
 
 // Percentile returns the p-th percentile (0–100) by nearest-rank with
-// linear interpolation between adjacent observations.
+// linear interpolation between adjacent observations. An empty sample
+// or a NaN p yields 0; p outside [0, 100] clamps to the extremes.
 func (s *Sample) Percentile(p float64) time.Duration {
-	if len(s.values) == 0 {
+	if len(s.values) == 0 || math.IsNaN(p) {
 		return 0
 	}
 	s.sort()

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -152,5 +153,48 @@ func TestValuesCopy(t *testing.T) {
 	v[0] = time.Hour
 	if s.Min() != time.Millisecond {
 		t.Error("Values leaked internal slice")
+	}
+}
+
+func TestPercentileNaNAndEmptyGuards(t *testing.T) {
+	empty := New()
+	for _, p := range []float64{math.NaN(), math.Inf(-1), -5, 0, 50, 100, 200, math.Inf(1)} {
+		if got := empty.Percentile(p); got != 0 {
+			t.Errorf("empty.Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+	s := sampleOf(time.Millisecond, 2*time.Millisecond, 3*time.Millisecond)
+	if got := s.Percentile(math.NaN()); got != 0 {
+		t.Errorf("Percentile(NaN) = %v, want 0", got)
+	}
+	if got := s.Percentile(math.Inf(-1)); got != time.Millisecond {
+		t.Errorf("Percentile(-Inf) = %v, want clamp to min", got)
+	}
+	if got := s.Percentile(math.Inf(1)); got != 3*time.Millisecond {
+		t.Errorf("Percentile(+Inf) = %v, want clamp to max", got)
+	}
+	if got := s.TrimmedMean(math.NaN(), math.NaN()); got != 2*time.Millisecond {
+		t.Errorf("TrimmedMean(NaN, NaN) = %v, want fallback mean", got)
+	}
+}
+
+func TestAddAfterValuesIsIndependent(t *testing.T) {
+	s := sampleOf(3*time.Millisecond, time.Millisecond, 2*time.Millisecond)
+	v := s.Values()
+	// Growing and re-sorting the sample must not disturb the copy.
+	s.Add(10 * time.Millisecond)
+	s.Add(500 * time.Microsecond)
+	_ = s.Percentile(50)
+	want := []time.Duration{3 * time.Millisecond, time.Millisecond, 2 * time.Millisecond}
+	for i, d := range want {
+		if v[i] != d {
+			t.Fatalf("Values copy mutated at %d: got %v, want %v", i, v[i], d)
+		}
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	if s.Min() != 500*time.Microsecond || s.Max() != 10*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
 	}
 }

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/vclock"
+)
+
+// Resolution-path labels, the runtime counterpart of the paper's
+// Fig 5 categories: answered from the L-DNS message cache, contained
+// at the edge (authoritative zone or collocated C-DNS), escaped to an
+// upstream resolver behind the core, or not answered at all.
+const (
+	PathCacheHit = "cache-hit"
+	PathEdge     = "edge"
+	PathUpstream = "upstream"
+	PathRefused  = "refused"
+	PathError    = "error"
+)
+
+// Hub ties the per-query instruments together for one server: it
+// starts and finishes spans, feeds the serve-duration histogram and
+// resolution-path counter, and head-samples finished spans into the
+// query log. A nil *Hub is valid and disables all of it.
+type Hub struct {
+	// Clock times spans and hops. Nil means a wall clock created by
+	// NewHub.
+	Clock vclock.Clock
+	// Registry holds this hub's metric families (and any component
+	// collectors the process registers alongside them).
+	Registry *Registry
+	// Log receives head-sampled query records; nil disables logging.
+	Log *QueryLog
+	// SampleEvery keeps 1 in N queries for the log (decided at query
+	// start — head sampling — so a kept query logs all of its hops).
+	// Values <= 1 keep every query.
+	SampleEvery int
+
+	// ServeDuration observes every query's span total.
+	ServeDuration *Histogram
+	// Path counts finished queries by resolution path.
+	Path *CounterVec
+
+	n atomic.Uint64
+}
+
+// NewHub builds a hub with a fresh registry, a 1024-entry query log,
+// and the standard serve-duration and resolution-path families
+// registered. clock nil means wall clock.
+func NewHub(clock vclock.Clock) *Hub {
+	if clock == nil {
+		clock = vclock.NewReal()
+	}
+	h := &Hub{
+		Clock:    clock,
+		Registry: NewRegistry(),
+		Log:      NewQueryLog(0),
+		ServeDuration: NewHistogram("meccdn_dns_serve_duration_seconds",
+			"Client-observed DNS serve time from packet in to response written."),
+		Path: NewCounterVec("meccdn_dns_resolution_path_total",
+			"Finished queries by resolution path (cache-hit, edge, upstream, refused, error).", "path"),
+	}
+	h.Registry.MustRegister(h.ServeDuration, h.Path)
+	return h
+}
+
+// sampleNext reports whether the next started query should be logged.
+func (h *Hub) sampleNext() bool {
+	if h.Log == nil {
+		return false
+	}
+	if h.SampleEvery <= 1 {
+		return true
+	}
+	return h.n.Add(1)%uint64(h.SampleEvery) == 1
+}
+
+// Begin opens a span for one query and returns it; attach it to the
+// request context with ContextWith. Nil-hub safe (returns nil).
+func (h *Hub) Begin(name, qtype, transport, client string) *Span {
+	if h == nil {
+		return nil
+	}
+	sp := NewSpan(h.Clock, name, qtype)
+	sp.transport = transport
+	sp.client = client
+	sp.sampled = h.sampleNext()
+	return sp
+}
+
+// Finish ends the span with the response rcode, classifies its
+// resolution path, feeds the histogram and path counter, and — when
+// the span was head-sampled — appends a record to the query log.
+// Nil-hub and nil-span safe.
+func (h *Hub) Finish(sp *Span, rcode string) {
+	if h == nil || sp == nil {
+		return
+	}
+	path := ClassifyPath(sp.Hops(), rcode)
+	sp.End(path)
+	if h.ServeDuration != nil {
+		h.ServeDuration.Observe(sp.Total())
+	}
+	if h.Path != nil {
+		h.Path.Inc(path)
+	}
+	if h.Log != nil && sp.Sampled() {
+		h.Log.Add(RecordFromSpan(sp, rcode, path, time.Now()))
+	}
+}
+
+// ClassifyPath maps a span's hops and final rcode onto the Fig 5
+// resolution-path categories.
+func ClassifyPath(hops []Hop, rcode string) string {
+	upstream := false
+	for _, hop := range hops {
+		switch hop.Layer {
+		case "cache":
+			if hop.Note == "hit" {
+				return PathCacheHit
+			}
+		case "coalesce":
+			// A coalesced waiter shared another query's upstream
+			// exchange; classify like its leader.
+			upstream = true
+		case "upstream":
+			upstream = true
+		}
+	}
+	switch {
+	case upstream:
+		return PathUpstream
+	case rcode == "REFUSED":
+		return PathRefused
+	case rcode == "SERVFAIL":
+		return PathError
+	default:
+		return PathEdge
+	}
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/vclock"
+)
+
+func TestClassifyPath(t *testing.T) {
+	cases := []struct {
+		name  string
+		hops  []Hop
+		rcode string
+		want  string
+	}{
+		{"cache hit", []Hop{{Layer: "cache", Note: "hit"}}, "NOERROR", PathCacheHit},
+		{"zone answer", []Hop{{Layer: "cache", Note: "miss"}, {Layer: "zone", Note: "x."}}, "NOERROR", PathEdge},
+		{"cdn answer", []Hop{{Layer: "cache", Note: "miss"}, {Layer: "cdn-router", Note: "edge-0"}}, "NOERROR", PathEdge},
+		{"forwarded", []Hop{{Layer: "cache", Note: "miss"}, {Layer: "forward"}, {Layer: "upstream", Note: "a"}}, "NOERROR", PathUpstream},
+		{"coalesced", []Hop{{Layer: "cache", Note: "miss"}, {Layer: "coalesce", Note: "shared"}}, "NOERROR", PathUpstream},
+		{"refused", nil, "REFUSED", PathRefused},
+		{"servfail", []Hop{{Layer: "cache", Note: "miss"}}, "SERVFAIL", PathError},
+	}
+	for _, c := range cases {
+		if got := ClassifyPath(c.hops, c.rcode); got != c.want {
+			t.Errorf("%s: ClassifyPath = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestHubFinishFeedsInstrumentsAndLog(t *testing.T) {
+	clk := &vclock.Fixed{}
+	h := NewHub(clk)
+	h.SampleEvery = 1
+
+	sp := h.Begin("q.example.", "A", "udp", "127.0.0.1:9999")
+	end := sp.StartHop("cache")
+	clk.Advance(time.Millisecond)
+	end("hit")
+	h.Finish(sp, "NOERROR")
+
+	if h.ServeDuration.Count() != 1 || h.ServeDuration.Sum() != time.Millisecond {
+		t.Errorf("histogram = %d obs / %v", h.ServeDuration.Count(), h.ServeDuration.Sum())
+	}
+	if h.Path.Value(PathCacheHit) != 1 {
+		t.Errorf("path counts = %v", h.Path.Snapshot())
+	}
+	recs := h.Log.Drain()
+	if len(recs) != 1 || recs[0].Path != PathCacheHit || recs[0].Client != "127.0.0.1:9999" || recs[0].Transport != "udp" {
+		t.Errorf("log = %+v", recs)
+	}
+	if sp.Outcome() != PathCacheHit {
+		t.Errorf("outcome = %q", sp.Outcome())
+	}
+}
+
+func TestHubHeadSampling(t *testing.T) {
+	h := NewHub(&vclock.Fixed{})
+	h.SampleEvery = 4
+	sampled := 0
+	for i := 0; i < 40; i++ {
+		sp := h.Begin("q.", "A", "udp", "c")
+		if sp.Sampled() {
+			sampled++
+		}
+		h.Finish(sp, "NOERROR")
+	}
+	if sampled != 10 {
+		t.Errorf("sampled %d of 40 with SampleEvery=4, want 10", sampled)
+	}
+	if got := h.Log.Len(); got != 10 {
+		t.Errorf("log kept %d records, want 10", got)
+	}
+	if h.Path.Sum() != 40 {
+		t.Errorf("path counter saw %d, want all 40", h.Path.Sum())
+	}
+}
+
+func TestNilHubSafe(t *testing.T) {
+	var h *Hub
+	sp := h.Begin("q.", "A", "udp", "c")
+	if sp != nil {
+		t.Error("nil hub returned a span")
+	}
+	h.Finish(sp, "NOERROR") // must not panic
+}

@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/vclock"
+)
+
+// Span is one query's hop-by-hop timing record, the runtime analogue
+// of the paper's Fig 5 decomposition: it tells you whether a
+// resolution was answered from the L-DNS cache, contained at the edge
+// (zone / C-DNS chain), or escaped to an upstream resolver — and how
+// long each layer took.
+//
+// A span is created at the socket layer when a query arrives,
+// propagated through the plugin chain via context.Context, annotated
+// by each layer it crosses, and ended when the response is written.
+// All methods are nil-safe so instrumentation points need no guards:
+// a query served without telemetry carries a nil span and every
+// annotation is a no-op.
+type Span struct {
+	clock vclock.Clock
+
+	// Immutable query identity, set at creation.
+	name, qtype, transport, client string
+	sampled                        bool
+
+	start time.Duration
+
+	mu      sync.Mutex
+	hops    []Hop
+	outcome string
+	end     time.Duration
+	ended   bool
+}
+
+// Hop is one timed crossing of an instrumented layer. Start is an
+// offset from the span's start; zero-duration hops are point
+// annotations (e.g. a stub-domain match).
+type Hop struct {
+	// Layer names the instrumented component: "cache", "coalesce",
+	// "zone", "stub", "forward", "upstream", "cdn-router", ...
+	Layer string
+	// Note qualifies the crossing: "hit", "miss", an upstream address,
+	// a selected cache server.
+	Note  string
+	Start time.Duration
+	Dur   time.Duration
+}
+
+type spanKey struct{}
+
+// NewSpan starts a span for one query using clock (nil means a wall
+// clock anchored now).
+func NewSpan(clock vclock.Clock, name, qtype string) *Span {
+	if clock == nil {
+		clock = vclock.NewReal()
+	}
+	return &Span{clock: clock, name: name, qtype: qtype, start: clock.Now()}
+}
+
+// ContextWith returns ctx carrying sp.
+func ContextWith(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// StartHop opens a timed hop on the span and returns the function
+// that closes it with a note. Safe on a nil span (returns a no-op).
+func (s *Span) StartHop(layer string) func(note string) {
+	if s == nil {
+		return func(string) {}
+	}
+	begin := s.clock.Now()
+	return func(note string) {
+		end := s.clock.Now()
+		s.mu.Lock()
+		s.hops = append(s.hops, Hop{
+			Layer: layer,
+			Note:  note,
+			Start: begin - s.start,
+			Dur:   end - begin,
+		})
+		s.mu.Unlock()
+	}
+}
+
+// Annotate records a zero-duration point hop. Safe on a nil span.
+func (s *Span) Annotate(layer, note string) {
+	if s == nil {
+		return
+	}
+	now := s.clock.Now()
+	s.mu.Lock()
+	s.hops = append(s.hops, Hop{Layer: layer, Note: note, Start: now - s.start})
+	s.mu.Unlock()
+}
+
+// End closes the span with an outcome; only the first End takes
+// effect. Safe on a nil span.
+func (s *Span) End(outcome string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = s.clock.Now()
+		s.outcome = outcome
+	}
+	s.mu.Unlock()
+}
+
+// Total returns the span duration: end−start once ended, elapsed so
+// far otherwise. Zero on a nil span.
+func (s *Span) Total() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.end - s.start
+	}
+	return s.clock.Now() - s.start
+}
+
+// Hops returns a copy of the recorded hops in completion order.
+func (s *Span) Hops() []Hop {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Hop(nil), s.hops...)
+}
+
+// Outcome returns the outcome passed to End.
+func (s *Span) Outcome() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.outcome
+}
+
+// Name returns the query name the span was started for.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Type returns the query type label.
+func (s *Span) Type() string {
+	if s == nil {
+		return ""
+	}
+	return s.qtype
+}
+
+// Sampled reports whether this span was head-sampled into the query
+// log by the Hub that created it.
+func (s *Span) Sampled() bool { return s != nil && s.sampled }
+
+// BreakdownEntry is one layer's exclusive (self) time within a span.
+type BreakdownEntry struct {
+	Layer string
+	Dur   time.Duration
+}
+
+// Breakdown attributes the span's total duration across layers by
+// exclusive time: each hop is charged its own duration minus the
+// durations of hops nested inside it (a forward hop contains its
+// upstream exchanges; the difference is forwarding overhead). Time
+// covered by no hop is returned under the layer "other", so the
+// entries always sum exactly to Total — the invariant the
+// observability tests pin down.
+func (s *Span) Breakdown() []BreakdownEntry {
+	if s == nil {
+		return nil
+	}
+	total := s.Total()
+	hops := s.Hops()
+	sort.Slice(hops, func(i, j int) bool {
+		if hops[i].Start != hops[j].Start {
+			return hops[i].Start < hops[j].Start
+		}
+		return hops[i].Dur > hops[j].Dur
+	})
+
+	// For each hop, find its direct parent: the smallest interval that
+	// fully contains it. Hop counts are single digits, so O(n²) is fine.
+	self := make(map[string]time.Duration)
+	var topCovered time.Duration
+	for i, h := range hops {
+		parent := -1
+		for j, p := range hops {
+			if j == i {
+				continue
+			}
+			if p.Start <= h.Start && p.Start+p.Dur >= h.Start+h.Dur &&
+				!(p.Start == h.Start && p.Dur == h.Dur && j > i) {
+				if parent == -1 || p.Dur < hops[parent].Dur {
+					parent = j
+				}
+			}
+		}
+		if parent == -1 {
+			topCovered += h.Dur
+		} else {
+			self[hops[parent].Layer] -= h.Dur
+		}
+		self[h.Layer] += h.Dur
+	}
+
+	layers := make([]string, 0, len(self))
+	for l := range self {
+		layers = append(layers, l)
+	}
+	sort.Strings(layers)
+	out := make([]BreakdownEntry, 0, len(layers)+1)
+	for _, l := range layers {
+		out = append(out, BreakdownEntry{Layer: l, Dur: self[l]})
+	}
+	if rest := total - topCovered; rest != 0 {
+		out = append(out, BreakdownEntry{Layer: "other", Dur: rest})
+	}
+	return out
+}
+
+// StartHop opens a timed hop on the span carried by ctx; a no-op
+// closer is returned when ctx carries none.
+func StartHop(ctx context.Context, layer string) func(note string) {
+	return FromContext(ctx).StartHop(layer)
+}
+
+// Annotate records a point hop on the span carried by ctx, if any.
+func Annotate(ctx context.Context, layer, note string) {
+	FromContext(ctx).Annotate(layer, note)
+}

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/vclock"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// TestBreakdownNested drives a deterministic virtual-clock span shaped
+// like a forwarded resolution — a forward hop containing two upstream
+// exchanges — and checks exclusive-time attribution plus the invariant
+// that breakdown entries sum exactly to Total.
+func TestBreakdownNested(t *testing.T) {
+	clk := &vclock.Fixed{}
+	sp := NewSpan(clk, "q.example.", "A")
+
+	clk.Advance(ms(1))
+	endForward := sp.StartHop("forward")
+
+	clk.Advance(ms(1)) // t=2
+	endUp1 := sp.StartHop("upstream")
+	clk.Advance(ms(3)) // t=5
+	endUp1("10.0.0.1:53")
+
+	clk.Advance(ms(1)) // t=6
+	endUp2 := sp.StartHop("upstream")
+	clk.Advance(ms(2)) // t=8
+	endUp2("10.0.0.2:53")
+
+	clk.Advance(ms(1)) // t=9
+	endForward("10.0.0.2:53")
+
+	clk.Advance(ms(1)) // t=10
+	sp.End("upstream")
+
+	if sp.Total() != ms(10) {
+		t.Fatalf("total = %v, want 10ms", sp.Total())
+	}
+	got := map[string]time.Duration{}
+	var sum time.Duration
+	for _, e := range sp.Breakdown() {
+		got[e.Layer] = e.Dur
+		sum += e.Dur
+	}
+	if sum != sp.Total() {
+		t.Errorf("breakdown sums to %v, want Total %v", sum, sp.Total())
+	}
+	// forward: 8ms interval minus 5ms of contained upstream exchanges.
+	if got["forward"] != ms(3) {
+		t.Errorf("forward self-time = %v, want 3ms", got["forward"])
+	}
+	if got["upstream"] != ms(5) {
+		t.Errorf("upstream self-time = %v, want 5ms", got["upstream"])
+	}
+	// 1ms before the forward hop + 1ms after it.
+	if got["other"] != ms(2) {
+		t.Errorf("other = %v, want 2ms", got["other"])
+	}
+}
+
+// TestBreakdownIdenticalIntervals: two hops with the same [start, end]
+// must not both be charged as top-level (double counting) — one nests
+// inside the other.
+func TestBreakdownIdenticalIntervals(t *testing.T) {
+	clk := &vclock.Fixed{}
+	sp := NewSpan(clk, "q.example.", "A")
+	end1 := sp.StartHop("cache")
+	end2 := sp.StartHop("coalesce")
+	clk.Advance(ms(4))
+	end1("miss")
+	end2("shared")
+	clk.Advance(ms(1))
+	sp.End("upstream")
+
+	var sum time.Duration
+	for _, e := range sp.Breakdown() {
+		sum += e.Dur
+	}
+	if sum != sp.Total() {
+		t.Errorf("identical intervals double-counted: sum %v, total %v", sum, sp.Total())
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	clk := &vclock.Fixed{}
+	sp := NewSpan(clk, "q.", "A")
+	clk.Advance(ms(2))
+	sp.End("edge")
+	clk.Advance(ms(7))
+	sp.End("error")
+	if sp.Total() != ms(2) {
+		t.Errorf("total moved after second End: %v", sp.Total())
+	}
+	if sp.Outcome() != "edge" {
+		t.Errorf("outcome overwritten: %q", sp.Outcome())
+	}
+}
+
+// TestNilSpanSafe: every method must be a no-op on a nil span, and the
+// context helpers must tolerate a context with no span — the plugin
+// chain runs un-instrumented (simnet, tests) with exactly that.
+func TestNilSpanSafe(t *testing.T) {
+	var sp *Span
+	sp.StartHop("cache")("hit")
+	sp.Annotate("x", "y")
+	sp.End("done")
+	if sp.Total() != 0 || sp.Hops() != nil || sp.Outcome() != "" || sp.Sampled() {
+		t.Error("nil span leaked state")
+	}
+	if sp.Breakdown() != nil {
+		t.Error("nil span breakdown not nil")
+	}
+
+	ctx := context.Background()
+	StartHop(ctx, "cache")("hit")
+	Annotate(ctx, "x", "y")
+	if FromContext(ctx) != nil {
+		t.Error("empty context carried a span")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	sp := NewSpan(&vclock.Fixed{}, "q.", "A")
+	ctx := ContextWith(context.Background(), sp)
+	if FromContext(ctx) != sp {
+		t.Error("span lost in context")
+	}
+	end := StartHop(ctx, "zone")
+	end("example.org.")
+	if hops := sp.Hops(); len(hops) != 1 || hops[0].Layer != "zone" || hops[0].Note != "example.org." {
+		t.Errorf("hops = %+v", sp.Hops())
+	}
+}
+
+// TestSpanConcurrentHops mirrors hedged forwarding: multiple goroutines
+// appending hops to one span; run with -race.
+func TestSpanConcurrentHops(t *testing.T) {
+	sp := NewSpan(nil, "q.", "A")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sp.StartHop("upstream")("addr")
+				sp.Annotate("note", "x")
+				_ = sp.Breakdown()
+			}
+		}()
+	}
+	wg.Wait()
+	sp.End("upstream")
+	if len(sp.Hops()) != 8*100*2 {
+		t.Errorf("hops = %d, want %d", len(sp.Hops()), 8*100*2)
+	}
+}
