@@ -2,16 +2,20 @@
 
 GO ?= go
 
-.PHONY: all ci build test race vet bench experiments examples cover clean
+.PHONY: all ci build test race vet bench bench-json experiments examples cover clean
 
 all: vet test race build
 
-# The gate a commit must pass: static checks, a full build, and the
-# test suite under the race detector.
+# The gate a commit must pass: static checks (on both supported
+# platforms), a full build, the test suite under the race detector,
+# and a serve-path benchmark smoke run that catches hit-path
+# regressions without waiting for a full bench sweep.
 ci:
-	$(GO) vet ./...
+	GOOS=linux $(GO) vet ./...
+	GOOS=darwin $(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -run xxx -bench=ServeUDPHit -benchtime=100x -benchmem .
 
 build:
 	$(GO) build ./...
@@ -28,6 +32,14 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Archive the serve-path hit benchmarks (the numbers the PR-3
+# acceptance bar is measured against) as JSON: name, ns/op, allocs/op,
+# averaged over -count=5 runs.
+bench-json:
+	$(GO) test -run xxx -bench='ServeUDPHit|DNSMessageCache$$' -benchmem -count=5 . \
+		| tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_pr3.json
+	cat BENCH_pr3.json
 
 # Regenerate every table and figure from the paper.
 experiments:

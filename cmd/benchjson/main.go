@@ -1,0 +1,106 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// array of {name, ns_per_op, allocs_per_op, bytes_per_op} records so
+// benchmark runs can be archived and diffed across PRs. When a
+// benchmark appears multiple times (e.g. -count=5), the records are
+// averaged into one entry.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -count=5 . | go run ./cmd/benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one aggregated benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Count       int     `json:"count"`
+}
+
+func main() {
+	order := []string{}
+	agg := map[string]*result{}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		r, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		a := agg[r.Name]
+		if a == nil {
+			a = &result{Name: r.Name}
+			agg[r.Name] = a
+			order = append(order, r.Name)
+		}
+		a.NsPerOp += r.NsPerOp
+		a.AllocsPerOp += r.AllocsPerOp
+		a.BytesPerOp += r.BytesPerOp
+		a.Count++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	out := make([]result, 0, len(order))
+	for _, name := range order {
+		a := agg[name]
+		n := float64(a.Count)
+		out = append(out, result{
+			Name:        a.Name,
+			NsPerOp:     a.NsPerOp / n,
+			AllocsPerOp: a.AllocsPerOp / n,
+			BytesPerOp:  a.BytesPerOp / n,
+			Count:       a.Count,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine extracts one `BenchmarkFoo-8  N  123 ns/op  45 B/op
+// 6 allocs/op` line. Lines without a Benchmark prefix, and malformed
+// fields, are skipped.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	// The -GOMAXPROCS suffix stays in the name, so runs at different
+	// -cpu values aggregate separately.
+	r := result{Name: fields[0]}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	if r.NsPerOp == 0 {
+		return result{}, false
+	}
+	return r, true
+}

@@ -54,6 +54,8 @@ func main() {
 		qlogSample  = flag.Int("qlog-sample", 16, "head-sample 1 in N queries into the query log (<=1 keeps all)")
 		qlogCap     = flag.Int("qlog-cap", 1024, "query-log ring capacity; oldest entries are overwritten")
 		drain       = flag.Duration("drain", 5*time.Second, "graceful-drain budget for in-flight queries on shutdown")
+		workers     = flag.Int("workers", 0, "UDP worker goroutines serving the ingress queue (0 means GOMAXPROCS)")
+		udpQueue    = flag.Int("udp-queue", 0, "UDP ingress queue depth; packets beyond it are shed (0 means 4x workers)")
 		zones       repeated
 		stubs       repeated
 	)
@@ -73,6 +75,8 @@ func main() {
 		qlogSample:  *qlogSample,
 		qlogCap:     *qlogCap,
 		drain:       *drain,
+		workers:     *workers,
+		udpQueue:    *udpQueue,
 		zones:       zones,
 		stubs:       stubs,
 	}
@@ -91,6 +95,7 @@ type serverConfig struct {
 	admin                  string
 	qlogSample, qlogCap    int
 	drain                  time.Duration
+	workers, udpQueue      int
 	zones, stubs           []string
 }
 
@@ -233,7 +238,16 @@ func build(cfg serverConfig) (*daemon, error) {
 		}
 	}
 
-	srv := &meccdn.DNSServer{Addr: cfg.listen, Handler: meccdn.Chain(plugins...), Telemetry: hub}
+	srv := &meccdn.DNSServer{
+		Addr:       cfg.listen,
+		Handler:    meccdn.Chain(plugins...),
+		Telemetry:  hub,
+		Workers:    cfg.workers,
+		QueueDepth: cfg.udpQueue,
+	}
+	if err := hub.Registry.Register(srv.Collectors()...); err != nil {
+		return nil, err
+	}
 	d := &daemon{srv: srv, metrics: metrics, cache: cache, hub: hub}
 	if cfg.admin != "" {
 		d.admin = &meccdn.TelemetryAdmin{

@@ -99,9 +99,25 @@ func (c *Client) Do(ctx context.Context, server netip.AddrPort, q *dnswire.Messa
 			q.SetEDNS(c.UDPSize)
 		}
 	}
-	wire, err := q.Pack()
-	if err != nil {
-		return nil, fmt.Errorf("packing query for %q: %w", q.Question().Name, err)
+	// Over real sockets the packed query can live in a pooled buffer:
+	// its bytes are consumed by the socket write, so the buffer is free
+	// once Do returns. Virtual transports (simnet) may keep datagrams
+	// queued past the exchange, so they get a private allocation.
+	var wire []byte
+	if _, pooled := c.Transport.(*NetTransport); pooled {
+		buf := dnswire.GetBuffer()
+		defer dnswire.PutBuffer(buf)
+		w, err := q.AppendPack(buf[:0])
+		if err != nil {
+			return nil, fmt.Errorf("packing query for %q: %w", q.Question().Name, err)
+		}
+		wire = w
+	} else {
+		w, err := q.Pack()
+		if err != nil {
+			return nil, fmt.Errorf("packing query for %q: %w", q.Question().Name, err)
+		}
+		wire = w
 	}
 	timeout := c.Timeout
 	if timeout <= 0 {
@@ -169,7 +185,12 @@ func (c *Client) exchangeOnce(ctx context.Context, server netip.AddrPort, wire [
 		return nil, err
 	}
 	resp := new(dnswire.Message)
-	if err := resp.Unpack(raw); err != nil {
+	err = resp.Unpack(raw)
+	// Unpack copies all it needs, so the transport's buffer can go
+	// back to the pool now. Transports returning foreign (non-pooled)
+	// slices are unaffected: PutBuffer drops anything undersized.
+	dnswire.PutBuffer(raw)
+	if err != nil {
 		return nil, fmt.Errorf("unpacking response: %w", err)
 	}
 	if err := validate(q, resp); err != nil {

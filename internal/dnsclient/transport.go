@@ -48,9 +48,12 @@ func (t *NetTransport) Exchange(ctx context.Context, server netip.AddrPort, quer
 	if _, err := conn.Write(query); err != nil {
 		return nil, fmt.Errorf("udp write to %v: %w", server, err)
 	}
-	buf := make([]byte, dnswire.MaxMessageSize)
+	// Read into a pooled buffer; the client recycles it after the
+	// response has been unpacked (Unpack copies everything out).
+	buf := dnswire.GetBuffer()
 	n, err := conn.Read(buf)
 	if err != nil {
+		dnswire.PutBuffer(buf)
 		return nil, fmt.Errorf("udp read from %v: %w", server, err)
 	}
 	return buf[:n], nil

@@ -94,8 +94,17 @@ type flight struct {
 }
 
 type cacheEntry struct {
-	key     string
-	msg     *dnswire.Message
+	key string
+	msg *dnswire.Message
+	// wire is the packed form of msg, captured once at insert, and
+	// ttlOffs the byte offsets of its non-OPT TTL fields. A hit through
+	// a WireWriter copies wire into a pooled buffer and patches ID,
+	// RD/CD bits, and TTLs in place — no Clone, no Pack. wire is nil
+	// when packing failed at insert; such entries always take the
+	// decode path.
+	wire    []byte
+	ttlOffs []int
+	rcode   dnswire.Rcode
 	stored  time.Duration
 	expires time.Duration
 }
@@ -184,6 +193,25 @@ func (c *Cache) shard(key string) *cacheShard {
 	return c.shards[h%uint32(len(c.shards))]
 }
 
+// shardOf is shard for a key still in its stack buffer, so the hit
+// path never materializes the key string.
+func (c *Cache) shardOf(key []byte) *cacheShard {
+	c.init()
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return c.shards[h%uint32(len(c.shards))]
+}
+
 // Name implements Plugin.
 func (c *Cache) Name() string { return "cache" }
 
@@ -219,27 +247,41 @@ func (c *Cache) Flush() {
 }
 
 func cacheKey(r *Request) string {
-	key := r.Name() + "|" + r.Type().String()
+	var kb [cacheKeyBuf]byte
+	return string(appendCacheKey(kb[:0], r))
+}
+
+// cacheKeyBuf sizes the stack buffer lookups build their key in; a
+// maximal DNS name (255 octets) plus type and ECS suffixes fits.
+const cacheKeyBuf = 288
+
+// appendCacheKey appends r's cache key to b and returns the extended
+// slice. Passing a stack buffer keeps the hit path free of the
+// per-query key allocation; the string is materialized only on a miss
+// (when the entry has to be stored anyway).
+func appendCacheKey(b []byte, r *Request) []byte {
+	b = append(b, r.Name()...)
+	b = append(b, '|')
+	b = append(b, r.Type().String()...)
 	if ecs, ok := r.Msg.ECS(); ok {
-		key += "|" + ecs.Prefix().String()
+		b = append(b, '|')
+		b = append(b, ecs.Prefix().String()...)
 	}
-	return key
+	return b
 }
 
 // ServeDNS implements Plugin.
 func (c *Cache) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
-	key := cacheKey(r)
-	sh := c.shard(key)
+	var kb [cacheKeyBuf]byte
+	kbuf := appendCacheKey(kb[:0], r)
+	sh := c.shardOf(kbuf)
 	endLookup := telemetry.StartHop(ctx, "cache")
-	if msg, ok := sh.lookup(key, c.Clock.Now()); ok {
+	if rcode, hit, err := sh.serveHit(kbuf, c.Clock.Now(), w, r); hit {
 		endLookup("hit")
-		msg.ID = r.Msg.ID
-		if err := w.WriteMsg(msg); err != nil {
-			return dnswire.RcodeServerFailure, err
-		}
-		return msg.Rcode, nil
+		return rcode, err
 	}
 	endLookup("miss")
+	key := string(kbuf)
 	if c.DisableCoalescing {
 		return c.fill(ctx, sh, nil, key, w, r, next)
 	}
@@ -263,6 +305,8 @@ func (c *Cache) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next
 		}
 		msg := f.msg.Clone()
 		msg.ID = r.Msg.ID
+		msg.RecursionDesired = r.Msg.RecursionDesired
+		msg.CheckingDisabled = r.Msg.CheckingDisabled
 		if err := w.WriteMsg(msg); err != nil {
 			return dnswire.RcodeServerFailure, err
 		}
@@ -303,25 +347,35 @@ func (c *Cache) fill(ctx context.Context, sh *cacheShard, f *flight, key string,
 	return rec.msg.Rcode, nil
 }
 
-// lookup returns a TTL-adjusted clone on hit. Only the map/LRU
-// bookkeeping runs under the shard lock; the clone and TTL aging run
-// outside it, which is safe because stored messages are immutable —
-// store replaces whole entries and every reader gets its own clone.
-func (sh *cacheShard) lookup(key string, now time.Duration) (*dnswire.Message, bool) {
+// serveHit looks key up and, on a live entry, writes the response
+// through w and returns (rcode, true). Only the map/LRU bookkeeping
+// runs under the shard lock; serving runs outside it, which is safe
+// because stored entries are immutable — store replaces whole entries
+// and every reader gets its own copy (a pooled wire buffer on the fast
+// path, a clone on the fallback).
+//
+// The fast path fires when w is a WireWriter, the entry has a packed
+// form that fits the transport, and the request carries no OPT record
+// (EDNS/ECS force the decode path, per the patching rules in
+// DESIGN.md): the cached bytes are copied into a pooled buffer and the
+// transaction ID, the RD/CD mirror bits, and the aged TTLs are patched
+// in place. The result is byte-identical to decode-age-repack (the
+// FuzzTTLPatch invariant) at none of the cost.
+func (sh *cacheShard) serveHit(key []byte, now time.Duration, w ResponseWriter, r *Request) (dnswire.Rcode, bool, error) {
 	sh.mu.Lock()
-	el, ok := sh.items[key]
+	el, ok := sh.items[string(key)] // no alloc: map lookup by converted key
 	if !ok {
 		sh.mu.Unlock()
 		sh.ctr.misses.Inc()
-		return nil, false
+		return 0, false, nil
 	}
 	ent := el.Value.(*cacheEntry)
 	if now >= ent.expires {
 		sh.lru.Remove(el)
-		delete(sh.items, key)
+		delete(sh.items, string(key))
 		sh.mu.Unlock()
 		sh.ctr.expired.Inc()
-		return nil, false
+		return 0, false, nil
 	}
 	sh.lru.MoveToFront(el)
 	negative := ent.msg.Rcode != dnswire.RcodeSuccess || len(ent.msg.Answers) == 0
@@ -330,10 +384,29 @@ func (sh *cacheShard) lookup(key string, now time.Duration) (*dnswire.Message, b
 	if negative {
 		sh.ctr.negHits.Inc()
 	}
+	aged := uint32((now - ent.stored) / time.Second)
+
+	if ww, ok := w.(WireWriter); ok && ent.wire != nil && len(ent.wire) <= ww.WireSize() {
+		if _, hasOPT := r.Msg.OPT(); !hasOPT {
+			buf := dnswire.GetBuffer()
+			wire := buf[:copy(buf, ent.wire)]
+			dnswire.PatchID(wire, r.Msg.ID)
+			dnswire.PatchReplyBits(wire, r.Msg.RecursionDesired, r.Msg.CheckingDisabled)
+			dnswire.AgeTTLs(wire, ent.ttlOffs, aged)
+			err := ww.WriteWire(wire)
+			dnswire.PutBuffer(buf)
+			if err != nil {
+				return dnswire.RcodeServerFailure, true, err
+			}
+			return ent.rcode, true, nil
+		}
+	}
 
 	msg := ent.msg.Clone()
+	msg.ID = r.Msg.ID
+	msg.RecursionDesired = r.Msg.RecursionDesired
+	msg.CheckingDisabled = r.Msg.CheckingDisabled
 	// Age the TTLs by the time spent in cache.
-	aged := uint32((now - ent.stored) / time.Second)
 	for _, section := range [][]dnswire.RR{msg.Answers, msg.Authorities, msg.Additionals} {
 		for _, rr := range section {
 			if rr.Header().Type == dnswire.TypeOPT {
@@ -346,7 +419,10 @@ func (sh *cacheShard) lookup(key string, now time.Duration) (*dnswire.Message, b
 			}
 		}
 	}
-	return msg, true
+	if err := w.WriteMsg(msg); err != nil {
+		return dnswire.RcodeServerFailure, true, err
+	}
+	return msg.Rcode, true, nil
 }
 
 // store caches msg under key for its effective TTL.
@@ -366,7 +442,15 @@ func (c *Cache) store(sh *cacheShard, key string, msg *dnswire.Message) {
 		ttl = maxTTL
 	}
 	now := c.Clock.Now()
-	ent := &cacheEntry{key: key, msg: msg.Clone(), stored: now, expires: now + ttl}
+	ent := &cacheEntry{key: key, msg: msg.Clone(), rcode: msg.Rcode, stored: now, expires: now + ttl}
+	// Capture the packed form and its TTL offsets once, so every
+	// subsequent hit can be served by patching bytes instead of
+	// Clone+Pack. Entries that fail to pack simply lack a fast path.
+	if wire, err := ent.msg.Pack(); err == nil {
+		if offs, err := dnswire.TTLOffsets(wire); err == nil {
+			ent.wire, ent.ttlOffs = wire, offs
+		}
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if el, ok := sh.items[key]; ok {

@@ -31,7 +31,9 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/meccdn/meccdn/internal/dnswire"
@@ -58,6 +60,23 @@ func (r *Request) Type() dnswire.Type { return r.Msg.Question().Type }
 // ResponseWriter sends the response for one request.
 type ResponseWriter interface {
 	WriteMsg(*dnswire.Message) error
+}
+
+// WireWriter is an optional ResponseWriter extension for writers that
+// can transmit a pre-packed response without decoding it. The cache
+// uses it to serve hits straight from the stored wire form — patching
+// only the transaction ID, the request-mirrored flag bits, and the
+// aged TTLs — instead of paying a Clone+Pack per hit.
+type WireWriter interface {
+	ResponseWriter
+	// WireSize returns the largest packed response the transport can
+	// carry as-is: the client's advertised EDNS payload size on UDP,
+	// MaxMessageSize on TCP. Larger responses must go through WriteMsg
+	// so truncation applies.
+	WireSize() int
+	// WriteWire transmits a packed response verbatim. The writer must
+	// not retain wire after returning; callers typically recycle it.
+	WriteWire(wire []byte) error
 }
 
 // Handler answers DNS requests. If no response was written, the
@@ -139,6 +158,51 @@ func Resolve(ctx context.Context, h Handler, req *Request) *dnswire.Message {
 	return m
 }
 
+// responseTracker is a ResponseWriter that knows whether it has been
+// written to. The server's pooled socket writers implement it so
+// ResolveTo can skip the per-query recorder allocation Resolve pays.
+type responseTracker interface {
+	ResponseWriter
+	Written() bool
+}
+
+// ResolveTo runs handler h to completion for req, writing the response
+// through w as the chain produces it, and synthesizing an empty
+// response with the handler's rcode (SERVFAIL on error) when no plugin
+// answered. It returns the rcode of the response that was written.
+//
+// Unlike Resolve it never materializes the response: a writer that
+// implements both responseTracker and WireWriter (the server's own
+// socket writers do) receives cached answers as patched wire bytes,
+// which is the allocation-free fast path of the serve loop.
+func ResolveTo(ctx context.Context, h Handler, w ResponseWriter, req *Request) dnswire.Rcode {
+	if t, ok := w.(responseTracker); ok {
+		rcode, err := h.ServeDNS(ctx, w, req)
+		if t.Written() {
+			return rcode
+		}
+		m := new(dnswire.Message)
+		if err != nil {
+			rcode = dnswire.RcodeServerFailure
+		}
+		m.SetRcode(req.Msg, rcode)
+		_ = w.WriteMsg(m)
+		return m.Rcode
+	}
+	rec := &recorder{w: w}
+	rcode, err := h.ServeDNS(ctx, rec, req)
+	if rec.written {
+		return rec.msg.Rcode
+	}
+	m := new(dnswire.Message)
+	if err != nil {
+		rcode = dnswire.RcodeServerFailure
+	}
+	m.SetRcode(req.Msg, rcode)
+	_ = w.WriteMsg(m)
+	return m.Rcode
+}
+
 // Server serves a Handler over real UDP and TCP sockets.
 type Server struct {
 	// Addr is the listen address, e.g. "127.0.0.1:5353".
@@ -151,6 +215,21 @@ type Server struct {
 	// through the plugin chain via the request context), observes the
 	// client-visible serve duration, and feeds the sampled query log.
 	Telemetry *telemetry.Hub
+	// Workers is the number of UDP worker goroutines pulling packets
+	// off the ingress queue. Zero means GOMAXPROCS. Bounding the
+	// workers (instead of a goroutine per packet) keeps concurrency —
+	// and therefore memory and scheduler load — flat under the paper's
+	// DoS-threshold scenario.
+	Workers int
+	// QueueDepth is the capacity of the UDP ingress queue between the
+	// read loop and the workers. Zero means 4× the worker count.
+	// Packets arriving with the queue full are dropped and counted in
+	// meccdn_dns_udp_dropped_total rather than queued without bound.
+	QueueDepth int
+	// Shed, when non-nil, has queue-overflow drops recorded on its
+	// shed counter too, so admission-control drops and ingress drops
+	// surface in one meccdn_dns_loadshed_shed_total family.
+	Shed *LoadShed
 
 	mu       sync.Mutex
 	udp      *net.UDPConn
@@ -160,7 +239,53 @@ type Server struct {
 	draining bool
 	wg       sync.WaitGroup
 	inflight sync.WaitGroup
+
+	queue   chan udpPacket
+	busy    atomic.Int64
+	dropped atomic.Uint64
 }
+
+// udpPacket is one raw datagram handed from the read loop to a worker.
+// buf is a pooled buffer sliced to the datagram; the worker returns it
+// to the pool once the response has been written.
+type udpPacket struct {
+	buf   []byte
+	raddr netip.AddrPort
+}
+
+// workerCount resolves the configured worker-pool size.
+func (s *Server) workerCount() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Collectors returns the server's serve-loop metric families for
+// registration on a telemetry.Registry: worker occupancy, ingress
+// queue depth, and the queue-overflow drop counter.
+func (s *Server) Collectors() []telemetry.Collector {
+	return []telemetry.Collector{
+		telemetry.NewGaugeFunc("meccdn_dns_udp_workers_busy",
+			"UDP worker goroutines currently serving a query.",
+			func() float64 { return float64(s.busy.Load()) }),
+		telemetry.NewGaugeFunc("meccdn_dns_udp_queue_depth",
+			"Datagrams waiting in the UDP ingress queue.",
+			func() float64 {
+				s.mu.Lock()
+				q := s.queue
+				s.mu.Unlock()
+				return float64(len(q))
+			}),
+		telemetry.NewCounterFunc("meccdn_dns_udp_dropped_total",
+			"Datagrams dropped because the UDP ingress queue was full.",
+			func() float64 { return float64(s.dropped.Load()) }),
+	}
+}
+
+// DroppedPackets returns the number of datagrams shed on queue
+// overflow since Start.
+func (s *Server) DroppedPackets() uint64 { return s.dropped.Load() }
 
 // Start begins serving on UDP and TCP. It returns once the sockets
 // are bound; serving continues in background goroutines until Close.
@@ -188,8 +313,17 @@ func (s *Server) Start() error {
 		return fmt.Errorf("listening tcp: %w", err)
 	}
 	s.conns = make(map[net.Conn]struct{})
+	workers := s.workerCount()
+	depth := s.QueueDepth
+	if depth <= 0 {
+		depth = 4 * workers
+	}
+	s.queue = make(chan udpPacket, depth)
 	s.started = true
-	s.wg.Add(2)
+	s.wg.Add(2 + workers)
+	for i := 0; i < workers; i++ {
+		go s.udpWorker()
+	}
 	go s.serveUDP()
 	go s.serveTCP()
 	return nil
@@ -293,39 +427,64 @@ func (s *Server) begin(ctx context.Context, req *Request) (context.Context, *tel
 	if s.Telemetry == nil {
 		return ctx, nil
 	}
-	sp := s.Telemetry.Begin(req.Name(), req.Type().String(), req.Transport, req.Client.String())
+	sp := s.Telemetry.BeginAddr(req.Name(), req.Type().String(), req.Transport, req.Client)
 	return telemetry.ContextWith(ctx, sp), sp
 }
 
+// serveUDP is the ingress loop: it reads datagrams into pooled buffers
+// and hands them to the worker pool. Enqueueing happens after track()
+// so a graceful Shutdown waits for packets already accepted into the
+// queue, not just those a worker has picked up. On queue overflow the
+// packet is shed immediately — bounded delay beats unbounded backlog
+// for a protocol whose clients retry.
 func (s *Server) serveUDP() {
 	defer s.wg.Done()
-	buf := make([]byte, dnswire.MaxMessageSize)
+	defer close(s.queue) // workers drain the queue, then exit
 	for {
+		buf := dnswire.GetBuffer()
 		n, raddr, err := s.udp.ReadFromUDPAddrPort(buf)
 		if err != nil {
+			dnswire.PutBuffer(buf)
 			return // closed or draining
 		}
 		if !s.track() {
+			dnswire.PutBuffer(buf)
 			return // draining: stop accepting
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		go func() {
-			defer s.inflight.Done()
-			s.handlePacket(pkt, raddr)
-		}()
+		select {
+		case s.queue <- udpPacket{buf: buf[:n], raddr: raddr}:
+		default:
+			s.dropped.Add(1)
+			if s.Shed != nil {
+				s.Shed.RecordShed()
+			}
+			dnswire.PutBuffer(buf)
+			s.inflight.Done()
+		}
 	}
 }
 
-func (s *Server) handlePacket(pkt []byte, raddr netip.AddrPort) {
+// udpWorker serves packets from the ingress queue until it is closed
+// and drained. The response writer is reused across packets, so the
+// steady-state serve path allocates nothing for plumbing.
+func (s *Server) udpWorker() {
+	defer s.wg.Done()
+	w := new(udpWriter)
+	w.srv = s
+	for pkt := range s.queue {
+		s.busy.Add(1)
+		s.handlePacket(w, pkt.buf, pkt.raddr)
+		s.busy.Add(-1)
+		dnswire.PutBuffer(pkt.buf)
+		s.inflight.Done()
+	}
+}
+
+func (s *Server) handlePacket(w *udpWriter, pkt []byte, raddr netip.AddrPort) {
 	msg := new(dnswire.Message)
 	if err := msg.Unpack(pkt); err != nil {
 		return // not DNS; drop like a real server
 	}
-	req := &Request{Msg: msg, Client: raddr, Transport: "udp"}
-	ctx, sp := s.begin(context.Background(), req)
-	resp := Resolve(ctx, s.Handler, req)
-
 	// Honour the client's advertised payload size.
 	size := dnswire.MaxUDPSize
 	if opt, ok := msg.OPT(); ok {
@@ -333,14 +492,70 @@ func (s *Server) handlePacket(pkt []byte, raddr netip.AddrPort) {
 			size = adv
 		}
 	}
-	resp.TruncateTo(size)
-	wire, err := resp.Pack()
-	if err != nil {
-		s.Telemetry.Finish(sp, dnswire.RcodeServerFailure.String())
-		return
+	w.reset(raddr, size)
+	req := &Request{Msg: msg, Client: raddr, Transport: "udp"}
+	ctx, sp := s.begin(context.Background(), req)
+	rcode := ResolveTo(ctx, s.Handler, w, req)
+	s.Telemetry.Finish(sp, rcode.String())
+}
+
+// udpWriter writes responses for one UDP query; each worker owns one
+// and resets it per packet. It implements WireWriter so cache hits
+// reach the socket as patched wire bytes, and responseTracker so the
+// engine needs no recorder around it.
+type udpWriter struct {
+	srv   *Server
+	raddr netip.AddrPort
+	size  int
+	wrote bool
+}
+
+func (w *udpWriter) reset(raddr netip.AddrPort, size int) {
+	w.raddr, w.size, w.wrote = raddr, size, false
+}
+
+// Written implements responseTracker.
+func (w *udpWriter) Written() bool { return w.wrote }
+
+// WireSize implements WireWriter.
+func (w *udpWriter) WireSize() int { return w.size }
+
+// WriteWire implements WireWriter.
+func (w *udpWriter) WriteWire(wire []byte) error {
+	if w.wrote {
+		return nil
 	}
-	_, _ = s.udp.WriteToUDPAddrPort(wire, raddr)
-	s.Telemetry.Finish(sp, resp.Rcode.String())
+	if len(wire) > w.size {
+		return fmt.Errorf("dnsserver: %d-byte wire response exceeds %d-byte payload limit", len(wire), w.size)
+	}
+	if _, err := w.srv.udp.WriteToUDPAddrPort(wire, w.raddr); err != nil {
+		return err
+	}
+	w.wrote = true
+	return nil
+}
+
+// WriteMsg implements ResponseWriter: pack into a pooled buffer,
+// truncate to the advertised payload size, send. Only the first write
+// is passed through, matching recorder semantics.
+func (w *udpWriter) WriteMsg(m *dnswire.Message) error {
+	if w.wrote {
+		return nil
+	}
+	m.TruncateTo(w.size)
+	buf := dnswire.GetBuffer()
+	wire, err := m.AppendPack(buf[:0])
+	if err != nil {
+		dnswire.PutBuffer(buf)
+		return err
+	}
+	_, err = w.srv.udp.WriteToUDPAddrPort(wire, w.raddr)
+	dnswire.PutBuffer(buf)
+	if err != nil {
+		return err
+	}
+	w.wrote = true
+	return nil
 }
 
 func (s *Server) serveTCP() {
@@ -374,6 +589,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		timeout = 10 * time.Second
 	}
 	raddr, _ := netip.ParseAddrPort(conn.RemoteAddr().String())
+	w := &tcpWriter{conn: conn}
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(timeout))
 		pkt, err := dnswire.ReadTCP(conn)
@@ -381,9 +597,11 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 		if !s.track() {
+			dnswire.PutBuffer(pkt)
 			return // draining: stop accepting
 		}
-		err = s.serveTCPQuery(conn, pkt, raddr)
+		err = s.serveTCPQuery(w, pkt, raddr)
+		dnswire.PutBuffer(pkt)
 		s.inflight.Done()
 		if err != nil {
 			return
@@ -393,20 +611,65 @@ func (s *Server) handleConn(conn net.Conn) {
 
 // serveTCPQuery resolves one message from a TCP stream and writes the
 // response back on the same connection.
-func (s *Server) serveTCPQuery(conn net.Conn, pkt []byte, raddr netip.AddrPort) error {
+func (s *Server) serveTCPQuery(w *tcpWriter, pkt []byte, raddr netip.AddrPort) error {
 	msg := new(dnswire.Message)
 	if err := msg.Unpack(pkt); err != nil {
 		return err
 	}
+	w.reset()
 	req := &Request{Msg: msg, Client: raddr, Transport: "tcp"}
 	ctx, sp := s.begin(context.Background(), req)
-	resp := Resolve(ctx, s.Handler, req)
-	wire, err := resp.Pack()
-	if err != nil {
-		s.Telemetry.Finish(sp, dnswire.RcodeServerFailure.String())
+	rcode := ResolveTo(ctx, s.Handler, w, req)
+	s.Telemetry.Finish(sp, rcode.String())
+	return w.err
+}
+
+// tcpWriter writes length-prefixed responses for one TCP connection;
+// handleConn owns one and resets it per query. Like udpWriter it
+// implements WireWriter and responseTracker so cached hits skip the
+// decode-repack round trip on TCP too.
+type tcpWriter struct {
+	conn  net.Conn
+	wrote bool
+	err   error
+}
+
+func (w *tcpWriter) reset() { w.wrote, w.err = false, nil }
+
+// Written implements responseTracker.
+func (w *tcpWriter) Written() bool { return w.wrote }
+
+// WireSize implements WireWriter; TCP carries any packable message.
+func (w *tcpWriter) WireSize() int { return dnswire.MaxMessageSize }
+
+// WriteWire implements WireWriter.
+func (w *tcpWriter) WriteWire(wire []byte) error {
+	if w.wrote {
+		return nil
+	}
+	if err := dnswire.WriteTCP(w.conn, wire); err != nil {
+		w.err = err
 		return err
 	}
-	err = dnswire.WriteTCP(conn, wire)
-	s.Telemetry.Finish(sp, resp.Rcode.String())
-	return err
+	w.wrote = true
+	return nil
+}
+
+// WriteMsg implements ResponseWriter.
+func (w *tcpWriter) WriteMsg(m *dnswire.Message) error {
+	if w.wrote {
+		return nil
+	}
+	buf := dnswire.GetBuffer()
+	wire, err := m.AppendPack(buf[:0])
+	if err == nil {
+		err = dnswire.WriteTCP(w.conn, wire)
+	}
+	dnswire.PutBuffer(buf)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	w.wrote = true
+	return nil
 }

@@ -62,6 +62,60 @@ func FuzzMessageUnpack(f *testing.F) {
 	})
 }
 
+// FuzzTTLPatch: the in-place wire patch path (TTLOffsets + AgeTTLs +
+// PatchID) must produce bytes identical to the reference path that
+// decodes the message, ages each RR TTL, and re-packs. This is the
+// invariant the wire-level response cache rests on.
+func FuzzTTLPatch(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := m.Unpack(data); err != nil {
+			return
+		}
+		wire, err := m.Pack()
+		if err != nil {
+			return
+		}
+		offsets, err := TTLOffsets(wire)
+		if err != nil {
+			// Pack output must always be walkable; anything Pack
+			// emits that TTLOffsets rejects is a bug in one of them.
+			t.Fatalf("TTLOffsets rejects packed message: %v\n% x", err, wire)
+		}
+		for _, age := range []uint32{0, 1, 30, 1 << 20} {
+			patched := append([]byte(nil), wire...)
+			AgeTTLs(patched, offsets, age)
+			PatchID(patched, m.ID^0x5aa5)
+
+			var ref Message
+			if err := ref.Unpack(wire); err != nil {
+				t.Fatalf("canonical wire does not unpack: %v", err)
+			}
+			ref.ID = m.ID ^ 0x5aa5
+			for _, section := range [][]RR{ref.Answers, ref.Authorities, ref.Additionals} {
+				for _, rr := range section {
+					if rr.Header().Type == TypeOPT {
+						continue
+					}
+					if rr.Header().TTL > age {
+						rr.Header().TTL -= age
+					} else {
+						rr.Header().TTL = 0
+					}
+				}
+			}
+			refWire, err := ref.Pack()
+			if err != nil {
+				t.Fatalf("reference repack failed: %v", err)
+			}
+			if !bytes.Equal(patched, refWire) {
+				t.Fatalf("age %d: in-place patch != decode-age-repack:\n% x\n% x", age, patched, refWire)
+			}
+		}
+	})
+}
+
 // FuzzNameUnpack: name decompression must never panic or over-read.
 func FuzzNameUnpack(f *testing.F) {
 	f.Add([]byte{3, 'c', 'o', 'm', 0}, 0)

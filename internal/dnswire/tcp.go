@@ -23,15 +23,21 @@ func WriteTCP(w io.Writer, msg []byte) error {
 	return nil
 }
 
-// ReadTCP reads one length-prefixed DNS message from r.
+// ReadTCP reads one length-prefixed DNS message from r into a pooled
+// buffer. Callers should hand the returned slice to PutBuffer once the
+// message has been consumed (Unpack copies everything out, so the
+// buffer is recyclable immediately after); forgetting to is safe, just
+// slower.
 func ReadTCP(r io.Reader) ([]byte, error) {
 	var prefix [2]byte
 	if _, err := io.ReadFull(r, prefix[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint16(prefix[:])
-	msg := make([]byte, n)
+	buf := GetBuffer()
+	msg := buf[:n]
 	if _, err := io.ReadFull(r, msg); err != nil {
+		PutBuffer(buf)
 		return nil, fmt.Errorf("reading %d-byte TCP message body: %w", n, err)
 	}
 	return msg, nil

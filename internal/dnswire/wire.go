@@ -1,0 +1,171 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// This file holds the wire-level fast-path helpers: a pool of
+// MaxMessageSize packet buffers shared by the socket read loops,
+// response packing, and the client transport, plus in-place patch
+// helpers that let a cached packed response be re-served without the
+// decode → clone → re-encode round trip. A cached hit then costs one
+// buffer copy, a 2-byte ID patch, two flag-bit patches, and a fixed
+// set of 4-byte TTL rewrites at offsets recorded once at insert time.
+
+// bufPool recycles MaxMessageSize packet buffers. Entries are stored
+// as *[]byte so a Get/Put cycle costs one small header allocation at
+// most, never a 64 KiB make.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, MaxMessageSize)
+		return &b
+	},
+}
+
+// GetBuffer returns a packet buffer of length MaxMessageSize from the
+// shared pool. Return it with PutBuffer when the packet has been
+// fully consumed; the contents are not zeroed between uses.
+func GetBuffer() []byte {
+	return *bufPool.Get().(*[]byte)
+}
+
+// PutBuffer recycles a buffer obtained from GetBuffer (or any slice
+// with at least MaxMessageSize capacity; smaller slices are dropped,
+// so callers may hand back foreign buffers safely). The caller must
+// not touch b afterwards.
+func PutBuffer(b []byte) {
+	if cap(b) < MaxMessageSize {
+		return
+	}
+	b = b[:MaxMessageSize]
+	bufPool.Put(&b)
+}
+
+// skipName advances past one wire-format name without decoding it.
+// A compression pointer terminates the name in place (pointers are
+// two bytes and always end the label sequence).
+func skipName(msg []byte, off int) (int, error) {
+	for {
+		if off >= len(msg) {
+			return 0, ErrBufferTooSmall
+		}
+		c := msg[off]
+		switch {
+		case c == 0:
+			return off + 1, nil
+		case c&0xC0 == 0xC0:
+			if off+2 > len(msg) {
+				return 0, ErrBadPointer
+			}
+			return off + 2, nil
+		case c&0xC0 != 0:
+			return 0, fmt.Errorf("dnswire: reserved label type 0x%02x", c&0xC0)
+		default:
+			off += 1 + int(c)
+		}
+	}
+}
+
+// TTLOffsets walks a packed message and returns the byte offsets of
+// every resource-record TTL field outside OPT pseudo-records (whose
+// TTL carries the extended rcode, not a lifetime). Recording the
+// offsets once at cache-insert time lets AgeTTLs rewrite the packed
+// form in place on every subsequent hit.
+func TTLOffsets(wire []byte) ([]int, error) {
+	if len(wire) < 12 {
+		return nil, ErrShortMessage
+	}
+	qd := int(binary.BigEndian.Uint16(wire[4:]))
+	rrs := int(binary.BigEndian.Uint16(wire[6:])) +
+		int(binary.BigEndian.Uint16(wire[8:])) +
+		int(binary.BigEndian.Uint16(wire[10:]))
+	off := 12
+	var err error
+	for i := 0; i < qd; i++ {
+		if off, err = skipName(wire, off); err != nil {
+			return nil, err
+		}
+		off += 4 // type + class
+		if off > len(wire) {
+			return nil, ErrBufferTooSmall
+		}
+	}
+	var offsets []int
+	for i := 0; i < rrs; i++ {
+		if off, err = skipName(wire, off); err != nil {
+			return nil, err
+		}
+		if off+10 > len(wire) {
+			return nil, ErrBufferTooSmall
+		}
+		if Type(binary.BigEndian.Uint16(wire[off:])) != TypeOPT {
+			offsets = append(offsets, off+4)
+		}
+		off += 10 + int(binary.BigEndian.Uint16(wire[off+8:]))
+		if off > len(wire) {
+			return nil, ErrBufferTooSmall
+		}
+	}
+	return offsets, nil
+}
+
+// AgeTTLs subtracts age seconds from each TTL field at the given
+// offsets (recorded by TTLOffsets), clamping at zero — the in-place
+// equivalent of the decode-path TTL aging loop.
+func AgeTTLs(wire []byte, offsets []int, age uint32) {
+	if age == 0 {
+		return
+	}
+	for _, off := range offsets {
+		if off+4 > len(wire) {
+			continue
+		}
+		ttl := binary.BigEndian.Uint32(wire[off:])
+		if ttl > age {
+			ttl -= age
+		} else {
+			ttl = 0
+		}
+		binary.BigEndian.PutUint32(wire[off:], ttl)
+	}
+}
+
+// PatchID overwrites the transaction ID of a packed message.
+func PatchID(wire []byte, id uint16) {
+	if len(wire) >= 2 {
+		binary.BigEndian.PutUint16(wire, id)
+	}
+}
+
+// PatchReplyBits rewrites the request-mirrored flag bits of a packed
+// response: RD (copied from the query per RFC 1035 §4.1.1) and CD
+// (echoed per RFC 4035 §3.2.2). QR, AA, RA, rcode and the rest are
+// properties of the stored answer and are left untouched.
+func PatchReplyBits(wire []byte, rd, cd bool) {
+	if len(wire) < 4 {
+		return
+	}
+	const (
+		rdBit = byte(flagRD >> 8) // high flag byte
+		cdBit = byte(flagCD)      // low flag byte
+	)
+	wire[2] &^= rdBit
+	if rd {
+		wire[2] |= rdBit
+	}
+	wire[3] &^= cdBit
+	if cd {
+		wire[3] |= cdBit
+	}
+}
+
+// WireRcode extracts the 4-bit header rcode of a packed message
+// (extended rcode bits from an OPT record are not folded in).
+func WireRcode(wire []byte) Rcode {
+	if len(wire) < 4 {
+		return RcodeServerFailure
+	}
+	return Rcode(wire[3] & 0xF)
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"net/netip"
 	"sync/atomic"
 	"time"
 
@@ -85,6 +86,21 @@ func (h *Hub) Begin(name, qtype, transport, client string) *Span {
 	sp := NewSpan(h.Clock, name, qtype)
 	sp.transport = transport
 	sp.client = client
+	sp.sampled = h.sampleNext()
+	return sp
+}
+
+// BeginAddr is Begin for callers that have the client address as a
+// netip.AddrPort: the address is stored as-is and rendered to a string
+// only if the query is sampled into the log, so the per-query serve
+// path skips the String() allocation entirely.
+func (h *Hub) BeginAddr(name, qtype, transport string, client netip.AddrPort) *Span {
+	if h == nil {
+		return nil
+	}
+	sp := NewSpan(h.Clock, name, qtype)
+	sp.transport = transport
+	sp.clientAddr = client
 	sp.sampled = h.sampleNext()
 	return sp
 }

@@ -117,7 +117,7 @@ func RecordFromSpan(sp *Span, rcode, path string, now time.Time) Record {
 		Time:      now,
 		Name:      sp.Name(),
 		Type:      sp.Type(),
-		Client:    sp.client,
+		Client:    sp.Client(),
 		Transport: sp.transport,
 		Rcode:     rcode,
 		Path:      path,

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"context"
+	"net/netip"
 	"sort"
 	"sync"
 	"time"
@@ -24,8 +25,13 @@ import (
 type Span struct {
 	clock vclock.Clock
 
-	// Immutable query identity, set at creation.
+	// Immutable query identity, set at creation. client holds the
+	// rendered address when the span was begun with Begin; spans begun
+	// with BeginAddr store clientAddr instead and render it only when a
+	// sampled query reaches the log, keeping the unsampled fast path
+	// free of the String() allocation.
 	name, qtype, transport, client string
+	clientAddr                     netip.AddrPort
 	sampled                        bool
 
 	start time.Duration
@@ -35,6 +41,22 @@ type Span struct {
 	outcome string
 	end     time.Duration
 	ended   bool
+
+	// hopsBuf is the initial backing array for hops. Real resolutions
+	// cross a handful of layers, so recording hops usually never
+	// allocates beyond the span itself.
+	hopsBuf [8]Hop
+}
+
+// Client renders the span's client address.
+func (s *Span) Client() string {
+	if s == nil {
+		return ""
+	}
+	if s.client != "" || !s.clientAddr.IsValid() {
+		return s.client
+	}
+	return s.clientAddr.String()
 }
 
 // Hop is one timed crossing of an instrumented layer. Start is an
@@ -83,6 +105,9 @@ func (s *Span) StartHop(layer string) func(note string) {
 	return func(note string) {
 		end := s.clock.Now()
 		s.mu.Lock()
+		if s.hops == nil {
+			s.hops = s.hopsBuf[:0]
+		}
 		s.hops = append(s.hops, Hop{
 			Layer: layer,
 			Note:  note,
@@ -100,6 +125,9 @@ func (s *Span) Annotate(layer, note string) {
 	}
 	now := s.clock.Now()
 	s.mu.Lock()
+	if s.hops == nil {
+		s.hops = s.hopsBuf[:0]
+	}
 	s.hops = append(s.hops, Hop{Layer: layer, Note: note, Start: now - s.start})
 	s.mu.Unlock()
 }
