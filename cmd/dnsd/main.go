@@ -29,6 +29,7 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -56,6 +57,10 @@ func main() {
 		drain       = flag.Duration("drain", 5*time.Second, "graceful-drain budget for in-flight queries on shutdown")
 		workers     = flag.Int("workers", 0, "UDP worker goroutines serving the ingress queue (0 means GOMAXPROCS)")
 		udpQueue    = flag.Int("udp-queue", 0, "UDP ingress queue depth; packets beyond it are shed (0 means 4x workers)")
+		sockets     = flag.Int("sockets", 0, "SO_REUSEPORT-sharded UDP ingress sockets (0 means GOMAXPROCS; 1 or unsupported platforms use a single socket)")
+		maxConns    = flag.Int("max-conns", 0, "concurrent TCP connection cap; connections beyond it are closed at accept (0 means 512)")
+		prefetch    = flag.Float64("prefetch-frac", 0.1, "refresh-ahead window as a fraction of TTL: hits in the last frac of their lifetime trigger an async re-resolve (0 disables)")
+		maxStale    = flag.Duration("max-stale", time.Hour, "RFC 8767 serve-stale window: on upstream failure, expired entries this recent are served with a clamped 30s TTL (0 disables)")
 		zones       repeated
 		stubs       repeated
 	)
@@ -77,6 +82,10 @@ func main() {
 		drain:       *drain,
 		workers:     *workers,
 		udpQueue:    *udpQueue,
+		sockets:     *sockets,
+		maxConns:    *maxConns,
+		prefetch:    *prefetch,
+		maxStale:    *maxStale,
 		zones:       zones,
 		stubs:       stubs,
 	}
@@ -96,6 +105,9 @@ type serverConfig struct {
 	qlogSample, qlogCap    int
 	drain                  time.Duration
 	workers, udpQueue      int
+	sockets, maxConns      int
+	prefetch               float64
+	maxStale               time.Duration
 	zones, stubs           []string
 }
 
@@ -158,6 +170,8 @@ func build(cfg serverConfig) (*daemon, error) {
 	cache := meccdn.NewDNSCache(meccdn.RealClock())
 	cache.MaxEntries = cfg.cacheSize
 	cache.Shards = cfg.cacheShards
+	cache.PrefetchFrac = cfg.prefetch
+	cache.MaxStale = cfg.maxStale
 	plugins := []meccdn.DNSPlugin{metrics, cache}
 
 	client := &meccdn.Client{Transport: &meccdn.NetTransport{}, Timeout: 3 * time.Second, Retries: 1}
@@ -238,13 +252,21 @@ func build(cfg serverConfig) (*daemon, error) {
 		}
 	}
 
+	nsockets := cfg.sockets
+	if nsockets <= 0 {
+		nsockets = runtime.GOMAXPROCS(0)
+	}
 	srv := &meccdn.DNSServer{
 		Addr:       cfg.listen,
 		Handler:    meccdn.Chain(plugins...),
 		Telemetry:  hub,
 		Workers:    cfg.workers,
 		QueueDepth: cfg.udpQueue,
+		Sockets:    nsockets,
+		MaxConns:   cfg.maxConns,
 	}
+	// Refresh-ahead prefetches drain with the server's in-flight work.
+	cache.Background = srv
 	if err := hub.Registry.Register(srv.Collectors()...); err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
@@ -94,6 +95,42 @@ func TestBuildStubAndForward(t *testing.T) {
 	}
 	if len(resp.Answers) != 1 {
 		t.Fatalf("forward answers = %v", resp.Answers)
+	}
+}
+
+func TestBuildHotPathConfig(t *testing.T) {
+	zonePath := writeZoneFile(t, `
+@ 3600 IN SOA ns hostmaster 1 7200 3600 1209600 300
+www 60 IN A 192.0.2.88
+`)
+	d, err := build(serverConfig{
+		listen:   "127.0.0.1:0",
+		zones:    []string{"dnsd.test.=" + zonePath},
+		sockets:  3,
+		maxConns: 7,
+		prefetch: 0.25,
+		maxStale: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.srv.Sockets != 3 || d.srv.MaxConns != 7 {
+		t.Errorf("server sockets/maxConns = %d/%d, want 3/7", d.srv.Sockets, d.srv.MaxConns)
+	}
+	if d.cache.PrefetchFrac != 0.25 || d.cache.MaxStale != time.Minute {
+		t.Errorf("cache prefetch/maxStale = %v/%v, want 0.25/1m", d.cache.PrefetchFrac, d.cache.MaxStale)
+	}
+	// Prefetches must drain with the server, and -sockets 0 must
+	// follow GOMAXPROCS like -workers does.
+	if d.cache.Background != meccdn.BackgroundTracker(d.srv) {
+		t.Error("cache.Background not wired to the server")
+	}
+	d2, err := build(serverConfig{listen: "127.0.0.1:0", zones: []string{"dnsd.test.=" + zonePath}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.srv.Sockets != runtime.GOMAXPROCS(0) {
+		t.Errorf("default sockets = %d, want GOMAXPROCS", d2.srv.Sockets)
 	}
 }
 

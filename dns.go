@@ -90,6 +90,10 @@ type (
 	DNSCache = dnsserver.Cache
 	// DNSCacheStats is a snapshot of the cache counters.
 	DNSCacheStats = dnsserver.CacheStats
+	// BackgroundTracker scopes background work (cache refresh-ahead
+	// prefetches) to a server's graceful drain; a started DNSServer
+	// implements it.
+	BackgroundTracker = dnsserver.BackgroundTracker
 	// Forward forwards queries to upstream resolvers with rcode-aware
 	// failover, health cooldowns, and optional hedged queries.
 	Forward = dnsserver.Forward

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/meccdn/meccdn/internal/dnswire"
@@ -32,6 +33,14 @@ type CacheStats struct {
 	Coalesced uint64
 	// Shards is the number of independent cache shards in use.
 	Shards int
+	// PrefetchIssued counts refresh-ahead prefetches launched for
+	// near-expiry hits; PrefetchCoalesced those skipped because a
+	// refresh or resolve for the key was already in flight; and
+	// PrefetchDropped those shed at the prefetch concurrency bound.
+	PrefetchIssued, PrefetchCoalesced, PrefetchDropped uint64
+	// StaleServes counts expired entries served with a clamped TTL
+	// after an upstream failure (RFC 8767 serve-stale).
+	StaleServes uint64
 }
 
 // Cache is a TTL-honouring response cache with RFC 2308 negative
@@ -60,10 +69,35 @@ type Cache struct {
 	// DisableCoalescing turns off singleflight miss coalescing; each
 	// miss then performs its own upstream exchange.
 	DisableCoalescing bool
+	// PrefetchFrac enables refresh-ahead prefetch: a hit whose
+	// remaining TTL is at or below this fraction of its stored
+	// lifetime is served from cache as usual and re-resolved
+	// asynchronously through the chain, so the hot set never pays the
+	// upstream RTT at expiry. 0 disables; 0.1 refreshes hits landing
+	// in the last 10% of the TTL.
+	PrefetchFrac float64
+	// MaxPrefetch bounds concurrently running prefetches; 0 means 8.
+	// Attempts beyond the bound are dropped — the entry keeps serving
+	// until it actually expires — and counted in PrefetchDropped.
+	MaxPrefetch int
+	// Background, when non-nil, has every prefetch goroutine register
+	// with it so a graceful drain waits for in-flight refreshes
+	// instead of leaking them; a started Server implements it.
+	Background BackgroundTracker
+	// MaxStale enables RFC 8767 serve-stale: when a refill fails
+	// (upstream error, or a SERVFAIL/REFUSED verdict) and the expired
+	// entry is no older than expiry+MaxStale, the stale answer is
+	// served with its TTLs clamped to StaleTTL instead of relaying
+	// the failure. 0 disables.
+	MaxStale time.Duration
+	// StaleTTL is the clamp applied to stale answers' TTLs; 0 means
+	// 30s, the RFC 8767 recommendation.
+	StaleTTL time.Duration
 
-	once   sync.Once
-	shards []*cacheShard
-	ctr    cacheCounters
+	once        sync.Once
+	shards      []*cacheShard
+	ctr         cacheCounters
+	prefetchSem chan struct{}
 }
 
 // cacheCounters are the cache's effectiveness counters as telemetry
@@ -71,7 +105,8 @@ type Cache struct {
 // per-shard ad-hoc fields), registrable on a telemetry.Registry for
 // live /metrics exposition.
 type cacheCounters struct {
-	hits, misses, negHits, expired, evictions, coalesced *telemetry.Counter
+	hits, misses, negHits, expired, evictions, coalesced            *telemetry.Counter
+	prefetchIssued, prefetchCoalesced, prefetchDropped, staleServes *telemetry.Counter
 }
 
 // cacheShard is one independently locked slice of the key space.
@@ -107,6 +142,11 @@ type cacheEntry struct {
 	rcode   dnswire.Rcode
 	stored  time.Duration
 	expires time.Duration
+	// refreshing latches once a refresh-ahead prefetch has been
+	// spawned for this stored generation; store() replaces the whole
+	// entry, so the flag resets naturally when the refresh lands. It
+	// is the only mutable field of an otherwise immutable entry.
+	refreshing atomic.Bool
 }
 
 // NewCache returns a cache using clock.
@@ -119,13 +159,22 @@ func NewCache(clock vclock.Clock) *Cache {
 func (c *Cache) init() {
 	c.once.Do(func() {
 		c.ctr = cacheCounters{
-			hits:      telemetry.NewCounter("meccdn_dns_cache_hits_total", "Cache lookups answered from a live entry."),
-			misses:    telemetry.NewCounter("meccdn_dns_cache_misses_total", "Cache lookups with no entry for the key."),
-			negHits:   telemetry.NewCounter("meccdn_dns_cache_negative_hits_total", "Cache hits that served a negative (NXDOMAIN/NODATA) entry."),
-			expired:   telemetry.NewCounter("meccdn_dns_cache_expired_total", "Cache lookups that found an entry past its TTL."),
-			evictions: telemetry.NewCounter("meccdn_dns_cache_evictions_total", "Entries evicted by per-shard LRU pressure."),
-			coalesced: telemetry.NewCounter("meccdn_dns_cache_coalesced_total", "Queries that shared another query's in-flight upstream exchange."),
+			hits:              telemetry.NewCounter("meccdn_dns_cache_hits_total", "Cache lookups answered from a live entry."),
+			misses:            telemetry.NewCounter("meccdn_dns_cache_misses_total", "Cache lookups with no entry for the key."),
+			negHits:           telemetry.NewCounter("meccdn_dns_cache_negative_hits_total", "Cache hits that served a negative (NXDOMAIN/NODATA) entry."),
+			expired:           telemetry.NewCounter("meccdn_dns_cache_expired_total", "Cache lookups that found an entry past its TTL."),
+			evictions:         telemetry.NewCounter("meccdn_dns_cache_evictions_total", "Entries evicted by per-shard LRU pressure."),
+			coalesced:         telemetry.NewCounter("meccdn_dns_cache_coalesced_total", "Queries that shared another query's in-flight upstream exchange."),
+			prefetchIssued:    telemetry.NewCounter("meccdn_dns_cache_prefetch_issued_total", "Refresh-ahead prefetches launched for near-expiry hits."),
+			prefetchCoalesced: telemetry.NewCounter("meccdn_dns_cache_prefetch_coalesced_total", "Prefetch attempts skipped because a refresh or resolve for the key was already in flight."),
+			prefetchDropped:   telemetry.NewCounter("meccdn_dns_cache_prefetch_dropped_total", "Prefetch attempts shed at the prefetch concurrency bound."),
+			staleServes:       telemetry.NewCounter("meccdn_dns_cache_stale_serves_total", "Expired entries served with a clamped TTL after an upstream failure (RFC 8767)."),
 		}
+		maxPrefetch := c.MaxPrefetch
+		if maxPrefetch <= 0 {
+			maxPrefetch = 8
+		}
+		c.prefetchSem = make(chan struct{}, maxPrefetch)
 		max := c.MaxEntries
 		if max <= 0 {
 			max = 4096
@@ -165,6 +214,8 @@ func (c *Cache) Collectors() []telemetry.Collector {
 	return []telemetry.Collector{
 		c.ctr.hits, c.ctr.misses, c.ctr.negHits, c.ctr.expired,
 		c.ctr.evictions, c.ctr.coalesced,
+		c.ctr.prefetchIssued, c.ctr.prefetchCoalesced,
+		c.ctr.prefetchDropped, c.ctr.staleServes,
 		telemetry.NewGaugeFunc("meccdn_dns_cache_entries",
 			"Live entries across all cache shards.",
 			func() float64 { return float64(c.Stats().Entries) }),
@@ -219,13 +270,17 @@ func (c *Cache) Name() string { return "cache" }
 func (c *Cache) Stats() CacheStats {
 	c.init()
 	s := CacheStats{
-		Hits:         c.ctr.hits.Value(),
-		Misses:       c.ctr.misses.Value(),
-		NegativeHits: c.ctr.negHits.Value(),
-		Expired:      c.ctr.expired.Value(),
-		Evictions:    c.ctr.evictions.Value(),
-		Coalesced:    c.ctr.coalesced.Value(),
-		Shards:       len(c.shards),
+		Hits:              c.ctr.hits.Value(),
+		Misses:            c.ctr.misses.Value(),
+		NegativeHits:      c.ctr.negHits.Value(),
+		Expired:           c.ctr.expired.Value(),
+		Evictions:         c.ctr.evictions.Value(),
+		Coalesced:         c.ctr.coalesced.Value(),
+		Shards:            len(c.shards),
+		PrefetchIssued:    c.ctr.prefetchIssued.Value(),
+		PrefetchCoalesced: c.ctr.prefetchCoalesced.Value(),
+		PrefetchDropped:   c.ctr.prefetchDropped.Value(),
+		StaleServes:       c.ctr.staleServes.Value(),
 	}
 	for _, sh := range c.shards {
 		sh.mu.Lock()
@@ -270,20 +325,38 @@ func appendCacheKey(b []byte, r *Request) []byte {
 	return b
 }
 
+// lookupResult is the outcome of one cache lookup.
+type lookupResult struct {
+	hit   bool
+	rcode dnswire.Rcode
+	err   error
+	// refresh, set on a hit, is the entry whose remaining TTL has
+	// entered the refresh-ahead window; ServeDNS spawns an async
+	// re-resolve for it after the hit has been served.
+	refresh *cacheEntry
+	// stale, set on a miss, is an expired entry still inside the
+	// MaxStale window — the RFC 8767 fallback should the refill fail.
+	stale *cacheEntry
+}
+
 // ServeDNS implements Plugin.
 func (c *Cache) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
 	var kb [cacheKeyBuf]byte
 	kbuf := appendCacheKey(kb[:0], r)
 	sh := c.shardOf(kbuf)
 	endLookup := telemetry.StartHop(ctx, "cache")
-	if rcode, hit, err := sh.serveHit(kbuf, c.Clock.Now(), w, r); hit {
+	res := c.serveHit(sh, kbuf, c.Clock.Now(), w, r)
+	if res.hit {
 		endLookup("hit")
-		return rcode, err
+		if res.refresh != nil {
+			c.spawnPrefetch(res.refresh, sh, string(kbuf), r, next)
+		}
+		return res.rcode, res.err
 	}
 	endLookup("miss")
 	key := string(kbuf)
 	if c.DisableCoalescing {
-		return c.fill(ctx, sh, nil, key, w, r, next)
+		return c.fill(ctx, sh, nil, key, w, r, next, res.stale)
 	}
 
 	// Singleflight: join an in-flight exchange for this key, or
@@ -315,15 +388,20 @@ func (c *Cache) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next
 	f := &flight{done: make(chan struct{})}
 	sh.flights[key] = f
 	sh.mu.Unlock()
-	return c.fill(ctx, sh, f, key, w, r, next)
+	return c.fill(ctx, sh, f, key, w, r, next, res.stale)
 }
 
 // fill performs the upstream exchange for a miss, stores a cacheable
 // answer, and (when f is non-nil) publishes the outcome to coalesced
-// waiters.
-func (c *Cache) fill(ctx context.Context, sh *cacheShard, f *flight, key string, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
+// waiters. When the exchange fails and stale carries an expired entry
+// still in its RFC 8767 window, the stale answer is served instead of
+// the failure.
+func (c *Cache) fill(ctx context.Context, sh *cacheShard, f *flight, key string, w ResponseWriter, r *Request, next Handler, stale *cacheEntry) (dnswire.Rcode, error) {
 	rec := &recorder{w: nil}
 	rcode, err := next.ServeDNS(ctx, rec, r)
+	if stale != nil && (err != nil || !rec.written || failoverRcode(rec.msg.Rcode)) {
+		return c.serveStale(sh, f, key, w, r, stale)
+	}
 	if f != nil {
 		if err == nil && rec.written {
 			f.msg = rec.msg
@@ -347,8 +425,155 @@ func (c *Cache) fill(ctx context.Context, sh *cacheShard, f *flight, key string,
 	return rec.msg.Rcode, nil
 }
 
+// discardWriter swallows a prefetch's response: the refreshed answer
+// matters only through the store() side effect.
+type discardWriter struct{}
+
+// WriteMsg implements ResponseWriter.
+func (discardWriter) WriteMsg(*dnswire.Message) error { return nil }
+
+// spawnPrefetch launches the refresh-ahead re-resolve for a hit whose
+// TTL has entered the prefetch window. The hit itself has already
+// been served; the refresh runs on a background goroutine, bounded by
+// the prefetch semaphore, deduplicated per stored generation (the
+// entry's refreshing latch) and per key (the singleflight table, so a
+// concurrent miss's exchange is shared rather than duplicated), and
+// registered with Background so a graceful drain waits for it.
+func (c *Cache) spawnPrefetch(ent *cacheEntry, sh *cacheShard, key string, r *Request, next Handler) {
+	if !ent.refreshing.CompareAndSwap(false, true) {
+		c.ctr.prefetchCoalesced.Inc()
+		return
+	}
+	select {
+	case c.prefetchSem <- struct{}{}:
+	default:
+		// Prefetch is an optimization: at the concurrency bound the
+		// entry keeps serving until it actually expires, so shed the
+		// refresh and let a later hit in the window retry.
+		ent.refreshing.Store(false)
+		c.ctr.prefetchDropped.Inc()
+		return
+	}
+	release := func() { <-c.prefetchSem }
+	var done func()
+	if c.Background != nil {
+		var ok bool
+		if done, ok = c.Background.TrackBackground(); !ok {
+			release() // draining: no new background resolves
+			ent.refreshing.Store(false)
+			return
+		}
+	}
+	sh.mu.Lock()
+	if _, busy := sh.flights[key]; busy {
+		// A miss is already resolving this key; its store() refreshes
+		// the entry without our help.
+		sh.mu.Unlock()
+		c.ctr.prefetchCoalesced.Inc()
+		release()
+		if done != nil {
+			done()
+		}
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	sh.flights[key] = f
+	sh.mu.Unlock()
+	c.ctr.prefetchIssued.Inc()
+	// The request is cloned because the refresh outlives the serving
+	// goroutine that owns r.
+	req := &Request{Msg: r.Msg.Clone(), Client: r.Client, Transport: r.Transport}
+	go func() {
+		defer func() {
+			release()
+			if done != nil {
+				done()
+			}
+		}()
+		rcode, err := c.fill(context.Background(), sh, f, key, discardWriter{}, req, next, nil)
+		if err != nil || failoverRcode(rcode) {
+			// The refresh failed; unlatch so a later hit retries
+			// (bounded by the semaphore if the upstream stays down).
+			ent.refreshing.Store(false)
+		}
+	}()
+}
+
+// staleTTL resolves the serve-stale TTL clamp in seconds.
+func (c *Cache) staleTTL() uint32 {
+	ttl := c.StaleTTL
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	return uint32(ttl / time.Second)
+}
+
+// staleResponse builds the decoded RFC 8767 answer for ent: a clone
+// restamped for r with every TTL clamped down to the stale lifetime —
+// never the original TTL (long expired) and never zero (which clients
+// treat as uncacheable and immediately re-ask).
+func staleResponse(ent *cacheEntry, r *Request, ttl uint32) *dnswire.Message {
+	msg := ent.msg.Clone()
+	msg.ID = r.Msg.ID
+	msg.RecursionDesired = r.Msg.RecursionDesired
+	msg.CheckingDisabled = r.Msg.CheckingDisabled
+	for _, section := range [][]dnswire.RR{msg.Answers, msg.Authorities, msg.Additionals} {
+		for _, rr := range section {
+			if rr.Header().Type == dnswire.TypeOPT {
+				continue
+			}
+			if rr.Header().TTL > ttl {
+				rr.Header().TTL = ttl
+			}
+		}
+	}
+	return msg
+}
+
+// serveStale answers r from an expired entry after a failed refill,
+// per RFC 8767: better a recently-true answer than a SERVFAIL, for a
+// bounded window. Coalesced waiters receive the same stale answer.
+// Like serveHit it has a wire fast path — copy the stored image,
+// patch ID and flag bits, clamp the TTLs in place — and a decode
+// fallback for EDNS requests and plain writers.
+func (c *Cache) serveStale(sh *cacheShard, f *flight, key string, w ResponseWriter, r *Request, ent *cacheEntry) (dnswire.Rcode, error) {
+	c.ctr.staleServes.Inc()
+	ttl := c.staleTTL()
+	var msg *dnswire.Message
+	if f != nil {
+		msg = staleResponse(ent, r, ttl)
+		f.msg, f.rcode, f.err = msg, msg.Rcode, nil
+		sh.mu.Lock()
+		delete(sh.flights, key)
+		sh.mu.Unlock()
+		close(f.done)
+	}
+	if ww, ok := w.(WireWriter); ok && ent.wire != nil && len(ent.wire) <= ww.WireSize() {
+		if _, hasOPT := r.Msg.OPT(); !hasOPT {
+			buf := dnswire.GetBuffer()
+			wire := buf[:copy(buf, ent.wire)]
+			dnswire.PatchID(wire, r.Msg.ID)
+			dnswire.PatchReplyBits(wire, r.Msg.RecursionDesired, r.Msg.CheckingDisabled)
+			dnswire.ClampTTLs(wire, ent.ttlOffs, ttl)
+			err := ww.WriteWire(wire)
+			dnswire.PutBuffer(buf)
+			if err != nil {
+				return dnswire.RcodeServerFailure, err
+			}
+			return ent.rcode, nil
+		}
+	}
+	if msg == nil {
+		msg = staleResponse(ent, r, ttl)
+	}
+	if err := w.WriteMsg(msg); err != nil {
+		return dnswire.RcodeServerFailure, err
+	}
+	return msg.Rcode, nil
+}
+
 // serveHit looks key up and, on a live entry, writes the response
-// through w and returns (rcode, true). Only the map/LRU bookkeeping
+// through w and returns a hit result. Only the map/LRU bookkeeping
 // runs under the shard lock; serving runs outside it, which is safe
 // because stored entries are immutable — store replaces whole entries
 // and every reader gets its own copy (a pooled wire buffer on the fast
@@ -361,28 +586,48 @@ func (c *Cache) fill(ctx context.Context, sh *cacheShard, f *flight, key string,
 // transaction ID, the RD/CD mirror bits, and the aged TTLs are patched
 // in place. The result is byte-identical to decode-age-repack (the
 // FuzzTTLPatch invariant) at none of the cost.
-func (sh *cacheShard) serveHit(key []byte, now time.Duration, w ResponseWriter, r *Request) (dnswire.Rcode, bool, error) {
+//
+// Hits whose remaining TTL has entered the PrefetchFrac window carry
+// the entry back in lookupResult.refresh; expired entries still inside
+// the MaxStale window are kept in place (the refill's store replaces
+// them) and returned in lookupResult.stale.
+func (c *Cache) serveHit(sh *cacheShard, key []byte, now time.Duration, w ResponseWriter, r *Request) lookupResult {
 	sh.mu.Lock()
 	el, ok := sh.items[string(key)] // no alloc: map lookup by converted key
 	if !ok {
 		sh.mu.Unlock()
-		sh.ctr.misses.Inc()
-		return 0, false, nil
+		c.ctr.misses.Inc()
+		return lookupResult{}
 	}
 	ent := el.Value.(*cacheEntry)
 	if now >= ent.expires {
+		if c.MaxStale > 0 && now < ent.expires+c.MaxStale {
+			// Keep the expired entry: it is the serve-stale fallback
+			// if the refill fails, and store() replaces it if the
+			// refill succeeds. Still a miss for accounting.
+			sh.mu.Unlock()
+			c.ctr.expired.Inc()
+			return lookupResult{stale: ent}
+		}
 		sh.lru.Remove(el)
 		delete(sh.items, string(key))
 		sh.mu.Unlock()
-		sh.ctr.expired.Inc()
-		return 0, false, nil
+		c.ctr.expired.Inc()
+		return lookupResult{}
 	}
 	sh.lru.MoveToFront(el)
 	negative := ent.msg.Rcode != dnswire.RcodeSuccess || len(ent.msg.Answers) == 0
 	sh.mu.Unlock()
-	sh.ctr.hits.Inc()
+	c.ctr.hits.Inc()
 	if negative {
-		sh.ctr.negHits.Inc()
+		c.ctr.negHits.Inc()
+	}
+	res := lookupResult{hit: true}
+	if frac := c.PrefetchFrac; frac > 0 {
+		life := ent.expires - ent.stored
+		if float64(ent.expires-now) <= frac*float64(life) {
+			res.refresh = ent
+		}
 	}
 	aged := uint32((now - ent.stored) / time.Second)
 
@@ -396,9 +641,11 @@ func (sh *cacheShard) serveHit(key []byte, now time.Duration, w ResponseWriter, 
 			err := ww.WriteWire(wire)
 			dnswire.PutBuffer(buf)
 			if err != nil {
-				return dnswire.RcodeServerFailure, true, err
+				res.rcode, res.err = dnswire.RcodeServerFailure, err
+				return res
 			}
-			return ent.rcode, true, nil
+			res.rcode = ent.rcode
+			return res
 		}
 	}
 
@@ -420,9 +667,11 @@ func (sh *cacheShard) serveHit(key []byte, now time.Duration, w ResponseWriter, 
 		}
 	}
 	if err := w.WriteMsg(msg); err != nil {
-		return dnswire.RcodeServerFailure, true, err
+		res.rcode, res.err = dnswire.RcodeServerFailure, err
+		return res
 	}
-	return msg.Rcode, true, nil
+	res.rcode = msg.Rcode
+	return res
 }
 
 // store caches msg under key for its effective TTL.

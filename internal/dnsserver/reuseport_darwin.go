@@ -1,0 +1,8 @@
+//go:build darwin
+
+package dnsserver
+
+import "syscall"
+
+// soReusePort is SO_REUSEPORT; Darwin's syscall package exports it.
+const soReusePort = syscall.SO_REUSEPORT

@@ -1,0 +1,9 @@
+//go:build linux
+
+package dnsserver
+
+// soReusePort is SO_REUSEPORT (15 on every Linux architecture). The
+// frozen syscall package predates the option (Linux 3.9), so the
+// constant is spelled out here; x/sys/unix would provide it, but the
+// server is stdlib-only.
+const soReusePort = 0xf

@@ -1,0 +1,19 @@
+//go:build !linux && !darwin
+
+package dnsserver
+
+import (
+	"errors"
+	"syscall"
+)
+
+// reusePortSupported: no portable SO_REUSEPORT semantics here, so the
+// server always falls back to a single UDP ingress socket.
+const reusePortSupported = false
+
+// controlReusePort is never called on platforms without SO_REUSEPORT
+// support (listenUDP collapses Sockets to 1 first); it exists so both
+// build variants expose the same symbols.
+func controlReusePort(network, address string, c syscall.RawConn) error {
+	return errors.New("dnsserver: SO_REUSEPORT not supported on this platform")
+}

@@ -1,0 +1,25 @@
+//go:build linux || darwin
+
+package dnsserver
+
+import "syscall"
+
+// reusePortSupported reports whether this platform can bind several
+// UDP sockets to one address with SO_REUSEPORT so the kernel shards
+// inbound datagrams across them by flow hash. Linux (≥3.9) and Darwin
+// both can; elsewhere the server falls back to a single socket.
+const reusePortSupported = true
+
+// controlReusePort is the net.ListenConfig.Control hook that sets
+// SO_REUSEPORT on the socket between creation and bind — the only
+// window in which the option can take effect.
+func controlReusePort(network, address string, c syscall.RawConn) error {
+	var serr error
+	err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	})
+	if err != nil {
+		return err
+	}
+	return serr
+}

@@ -221,6 +221,20 @@ type Server struct {
 	// and therefore memory and scheduler load — flat under the paper's
 	// DoS-threshold scenario.
 	Workers int
+	// Sockets is the number of UDP ingress sockets bound to Addr via
+	// SO_REUSEPORT, each with its own read loop feeding the shared
+	// worker pool; the kernel shards inbound datagrams across them by
+	// flow hash, removing the single-read-loop bottleneck on
+	// multi-core hosts. Values <= 1 — and any value on platforms
+	// without SO_REUSEPORT (see reuseport_other.go) — mean the classic
+	// single-socket ingress.
+	Sockets int
+	// MaxConns caps concurrently served TCP connections; accepted
+	// connections beyond the cap are closed immediately and counted in
+	// meccdn_dns_tcp_rejected_total (and on Shed when set). Zero means
+	// 512. A goroutine per connection is fine; an unbounded number of
+	// them under a SYN-rate attack is not.
+	MaxConns int
 	// QueueDepth is the capacity of the UDP ingress queue between the
 	// read loop and the workers. Zero means 4× the worker count.
 	// Packets arriving with the queue full are dropped and counted in
@@ -232,25 +246,30 @@ type Server struct {
 	Shed *LoadShed
 
 	mu       sync.Mutex
-	udp      *net.UDPConn
+	udps     []*net.UDPConn
 	tcp      net.Listener
 	conns    map[net.Conn]struct{}
 	started  bool
 	draining bool
 	wg       sync.WaitGroup
+	readers  sync.WaitGroup
 	inflight sync.WaitGroup
 
-	queue   chan udpPacket
-	busy    atomic.Int64
-	dropped atomic.Uint64
+	queue       chan udpPacket
+	busy        atomic.Int64
+	dropped     atomic.Uint64
+	tcpRejected atomic.Uint64
 }
 
 // udpPacket is one raw datagram handed from the read loop to a worker.
 // buf is a pooled buffer sliced to the datagram; the worker returns it
-// to the pool once the response has been written.
+// to the pool once the response has been written. conn is the sharded
+// socket the datagram arrived on — the response goes back out the same
+// socket, so the kernel-side send lock stays sharded too.
 type udpPacket struct {
 	buf   []byte
 	raddr netip.AddrPort
+	conn  *net.UDPConn
 }
 
 // workerCount resolves the configured worker-pool size.
@@ -259,6 +278,23 @@ func (s *Server) workerCount() int {
 		return s.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// socketCount resolves the configured UDP ingress socket count,
+// collapsing to one socket wherever SO_REUSEPORT can't shard.
+func (s *Server) socketCount() int {
+	if s.Sockets <= 1 || !reusePortSupported {
+		return 1
+	}
+	return s.Sockets
+}
+
+// maxConns resolves the TCP concurrency cap.
+func (s *Server) maxConns() int {
+	if s.MaxConns > 0 {
+		return s.MaxConns
+	}
+	return 512
 }
 
 // Collectors returns the server's serve-loop metric families for
@@ -280,12 +316,31 @@ func (s *Server) Collectors() []telemetry.Collector {
 		telemetry.NewCounterFunc("meccdn_dns_udp_dropped_total",
 			"Datagrams dropped because the UDP ingress queue was full.",
 			func() float64 { return float64(s.dropped.Load()) }),
+		telemetry.NewGaugeFunc("meccdn_dns_udp_sockets",
+			"UDP ingress sockets sharing the listen address via SO_REUSEPORT.",
+			func() float64 { return float64(s.NumSockets()) }),
+		telemetry.NewCounterFunc("meccdn_dns_tcp_rejected_total",
+			"TCP connections closed at accept because MaxConns was reached.",
+			func() float64 { return float64(s.tcpRejected.Load()) }),
 	}
 }
 
 // DroppedPackets returns the number of datagrams shed on queue
 // overflow since Start.
 func (s *Server) DroppedPackets() uint64 { return s.dropped.Load() }
+
+// RejectedConns returns the number of TCP connections refused at the
+// MaxConns cap since Start.
+func (s *Server) RejectedConns() uint64 { return s.tcpRejected.Load() }
+
+// NumSockets returns the number of UDP ingress sockets actually bound;
+// valid after Start. It is socketCount() unless the platform collapsed
+// the shard set to one.
+func (s *Server) NumSockets() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.udps)
+}
 
 // Start begins serving on UDP and TCP. It returns once the sockets
 // are bound; serving continues in background goroutines until Close.
@@ -298,18 +353,17 @@ func (s *Server) Start() error {
 	if s.Handler == nil {
 		return errors.New("dnsserver: nil handler")
 	}
-	uaddr, err := net.ResolveUDPAddr("udp", s.Addr)
+	udps, err := s.listenUDP()
 	if err != nil {
-		return fmt.Errorf("resolving %q: %w", s.Addr, err)
+		return err
 	}
-	s.udp, err = net.ListenUDP("udp", uaddr)
-	if err != nil {
-		return fmt.Errorf("listening udp %q: %w", s.Addr, err)
-	}
+	s.udps = udps
 	// Bind TCP to whatever port UDP got (supports ":0").
-	s.tcp, err = net.Listen("tcp", s.udp.LocalAddr().String())
+	s.tcp, err = net.Listen("tcp", udps[0].LocalAddr().String())
 	if err != nil {
-		s.udp.Close()
+		for _, u := range udps {
+			u.Close()
+		}
 		return fmt.Errorf("listening tcp: %w", err)
 	}
 	s.conns = make(map[net.Conn]struct{})
@@ -320,13 +374,60 @@ func (s *Server) Start() error {
 	}
 	s.queue = make(chan udpPacket, depth)
 	s.started = true
-	s.wg.Add(2 + workers)
+	s.readers.Add(len(udps))
+	s.wg.Add(2 + len(udps) + workers)
 	for i := 0; i < workers; i++ {
 		go s.udpWorker()
 	}
-	go s.serveUDP()
+	for _, conn := range udps {
+		go s.serveUDP(conn)
+	}
+	// The queue closes once every sharded read loop has exited, so the
+	// workers drain whatever any socket accepted, then stop.
+	go func() {
+		defer s.wg.Done()
+		s.readers.Wait()
+		close(s.queue)
+	}()
 	go s.serveTCP()
 	return nil
+}
+
+// listenUDP binds the UDP ingress socket set: a single plain socket
+// for socketCount() == 1, or N SO_REUSEPORT-sharing sockets bound to
+// the same address. With a ":0" listen address the first socket picks
+// the port and the rest join it.
+func (s *Server) listenUDP() ([]*net.UDPConn, error) {
+	n := s.socketCount()
+	if n == 1 {
+		uaddr, err := net.ResolveUDPAddr("udp", s.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("resolving %q: %w", s.Addr, err)
+		}
+		conn, err := net.ListenUDP("udp", uaddr)
+		if err != nil {
+			return nil, fmt.Errorf("listening udp %q: %w", s.Addr, err)
+		}
+		return []*net.UDPConn{conn}, nil
+	}
+	lc := net.ListenConfig{Control: controlReusePort}
+	conns := make([]*net.UDPConn, 0, n)
+	addr := s.Addr
+	for i := 0; i < n; i++ {
+		pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("listening udp shard %d/%d on %q: %w", i+1, n, addr, err)
+		}
+		conn := pc.(*net.UDPConn)
+		conns = append(conns, conn)
+		if i == 0 {
+			addr = conn.LocalAddr().String()
+		}
+	}
+	return conns, nil
 }
 
 // Draining reports whether a graceful Shutdown is in progress (or
@@ -349,14 +450,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return s.Close()
 	}
 	s.draining = true
-	udp, tcp := s.udp, s.tcp
+	udps, tcp := s.udps, s.tcp
 	s.mu.Unlock()
 
-	// Stop the intake: no new TCP connections, and unblock the UDP
-	// read loop via an immediate deadline. The UDP socket itself must
-	// stay open so in-flight handlers can still write responses.
+	// Stop the intake: no new TCP connections, and unblock every UDP
+	// read loop via an immediate deadline. The UDP sockets themselves
+	// must stay open so in-flight handlers can still write responses.
 	tcp.Close()
-	_ = udp.SetReadDeadline(time.Now())
+	for _, u := range udps {
+		_ = u.SetReadDeadline(time.Now())
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -370,9 +473,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 	}
 
-	// Tear down what remains: the UDP socket and any TCP connections
+	// Tear down what remains: the UDP sockets and any TCP connections
 	// still mid-stream (idle keepalives, or queries the deadline cut).
-	udp.Close()
+	for _, u := range udps {
+		u.Close()
+	}
 	s.mu.Lock()
 	for conn := range s.conns {
 		conn.Close()
@@ -382,14 +487,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// LocalAddr returns the bound UDP address; valid after Start.
+// LocalAddr returns the bound UDP address; valid after Start. All
+// sharded sockets share it.
 func (s *Server) LocalAddr() netip.AddrPort {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.udp == nil {
+	if len(s.udps) == 0 {
 		return netip.AddrPort{}
 	}
-	return s.udp.LocalAddr().(*net.UDPAddr).AddrPort()
+	return s.udps[0].LocalAddr().(*net.UDPAddr).AddrPort()
 }
 
 // Close stops serving and waits for the serve loops to exit.
@@ -399,7 +505,9 @@ func (s *Server) Close() error {
 		s.mu.Unlock()
 		return nil
 	}
-	s.udp.Close()
+	for _, u := range s.udps {
+		u.Close()
+	}
 	s.tcp.Close()
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -420,6 +528,30 @@ func (s *Server) track() bool {
 	return true
 }
 
+// BackgroundTracker registers background work with a graceful-drain
+// scope. A started Server implements it; the cache's refresh-ahead
+// prefetcher uses it so Shutdown waits for in-flight background
+// resolves instead of leaking them past the drain.
+type BackgroundTracker interface {
+	// TrackBackground registers one unit of background work. ok=false
+	// means a drain has begun and the work must not start; otherwise
+	// the caller must invoke done exactly once when the work finishes.
+	TrackBackground() (done func(), ok bool)
+}
+
+// TrackBackground implements BackgroundTracker on the server's
+// in-flight WaitGroup, under the same mutex ordering as track(): no
+// tracked work can begin after Shutdown starts waiting.
+func (s *Server) TrackBackground() (done func(), ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false
+	}
+	s.inflight.Add(1)
+	return s.inflight.Done, true
+}
+
 // begin opens a telemetry span for req and attaches it to ctx;
 // without a Telemetry hub it returns ctx unchanged and a nil span
 // (every span method is nil-safe).
@@ -431,18 +563,21 @@ func (s *Server) begin(ctx context.Context, req *Request) (context.Context, *tel
 	return telemetry.ContextWith(ctx, sp), sp
 }
 
-// serveUDP is the ingress loop: it reads datagrams into pooled buffers
-// and hands them to the worker pool. Enqueueing happens after track()
+// serveUDP is the ingress loop for one sharded socket: it reads
+// datagrams into pooled buffers and hands them to the shared worker
+// pool. With Sockets > 1 several of these run concurrently, one per
+// SO_REUSEPORT socket, so ingress scales with cores instead of
+// serializing on a single reader. Enqueueing happens after track()
 // so a graceful Shutdown waits for packets already accepted into the
 // queue, not just those a worker has picked up. On queue overflow the
 // packet is shed immediately — bounded delay beats unbounded backlog
 // for a protocol whose clients retry.
-func (s *Server) serveUDP() {
+func (s *Server) serveUDP(conn *net.UDPConn) {
 	defer s.wg.Done()
-	defer close(s.queue) // workers drain the queue, then exit
+	defer s.readers.Done() // last reader out closes the queue
 	for {
 		buf := dnswire.GetBuffer()
-		n, raddr, err := s.udp.ReadFromUDPAddrPort(buf)
+		n, raddr, err := conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			dnswire.PutBuffer(buf)
 			return // closed or draining
@@ -452,7 +587,7 @@ func (s *Server) serveUDP() {
 			return // draining: stop accepting
 		}
 		select {
-		case s.queue <- udpPacket{buf: buf[:n], raddr: raddr}:
+		case s.queue <- udpPacket{buf: buf[:n], raddr: raddr, conn: conn}:
 		default:
 			s.dropped.Add(1)
 			if s.Shed != nil {
@@ -470,17 +605,17 @@ func (s *Server) serveUDP() {
 func (s *Server) udpWorker() {
 	defer s.wg.Done()
 	w := new(udpWriter)
-	w.srv = s
 	for pkt := range s.queue {
 		s.busy.Add(1)
-		s.handlePacket(w, pkt.buf, pkt.raddr)
+		s.handlePacket(w, pkt)
 		s.busy.Add(-1)
 		dnswire.PutBuffer(pkt.buf)
 		s.inflight.Done()
 	}
 }
 
-func (s *Server) handlePacket(w *udpWriter, pkt []byte, raddr netip.AddrPort) {
+func (s *Server) handlePacket(w *udpWriter, p udpPacket) {
+	pkt, raddr := p.buf, p.raddr
 	msg := new(dnswire.Message)
 	if err := msg.Unpack(pkt); err != nil {
 		return // not DNS; drop like a real server
@@ -492,7 +627,7 @@ func (s *Server) handlePacket(w *udpWriter, pkt []byte, raddr netip.AddrPort) {
 			size = adv
 		}
 	}
-	w.reset(raddr, size)
+	w.reset(p.conn, raddr, size)
 	req := &Request{Msg: msg, Client: raddr, Transport: "udp"}
 	ctx, sp := s.begin(context.Background(), req)
 	rcode := ResolveTo(ctx, s.Handler, w, req)
@@ -500,18 +635,19 @@ func (s *Server) handlePacket(w *udpWriter, pkt []byte, raddr netip.AddrPort) {
 }
 
 // udpWriter writes responses for one UDP query; each worker owns one
-// and resets it per packet. It implements WireWriter so cache hits
-// reach the socket as patched wire bytes, and responseTracker so the
-// engine needs no recorder around it.
+// and resets it per packet. Responses leave on the sharded socket the
+// query arrived on. It implements WireWriter so cache hits reach the
+// socket as patched wire bytes, and responseTracker so the engine
+// needs no recorder around it.
 type udpWriter struct {
-	srv   *Server
+	conn  *net.UDPConn
 	raddr netip.AddrPort
 	size  int
 	wrote bool
 }
 
-func (w *udpWriter) reset(raddr netip.AddrPort, size int) {
-	w.raddr, w.size, w.wrote = raddr, size, false
+func (w *udpWriter) reset(conn *net.UDPConn, raddr netip.AddrPort, size int) {
+	w.conn, w.raddr, w.size, w.wrote = conn, raddr, size, false
 }
 
 // Written implements responseTracker.
@@ -528,7 +664,7 @@ func (w *udpWriter) WriteWire(wire []byte) error {
 	if len(wire) > w.size {
 		return fmt.Errorf("dnsserver: %d-byte wire response exceeds %d-byte payload limit", len(wire), w.size)
 	}
-	if _, err := w.srv.udp.WriteToUDPAddrPort(wire, w.raddr); err != nil {
+	if _, err := w.conn.WriteToUDPAddrPort(wire, w.raddr); err != nil {
 		return err
 	}
 	w.wrote = true
@@ -549,7 +685,7 @@ func (w *udpWriter) WriteMsg(m *dnswire.Message) error {
 		dnswire.PutBuffer(buf)
 		return err
 	}
-	_, err = w.srv.udp.WriteToUDPAddrPort(wire, w.raddr)
+	_, err = w.conn.WriteToUDPAddrPort(wire, w.raddr)
 	dnswire.PutBuffer(buf)
 	if err != nil {
 		return err
@@ -570,6 +706,18 @@ func (s *Server) serveTCP() {
 			s.mu.Unlock()
 			conn.Close()
 			return
+		}
+		if len(s.conns) >= s.maxConns() {
+			s.mu.Unlock()
+			// At the cap: refuse outright rather than queueing the
+			// accept — a connection held open while others starve is
+			// worse than a fast close the client can retry over UDP.
+			s.tcpRejected.Add(1)
+			if s.Shed != nil {
+				s.Shed.RecordShed()
+			}
+			conn.Close()
+			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()

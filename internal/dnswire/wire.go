@@ -132,6 +132,23 @@ func AgeTTLs(wire []byte, offsets []int, age uint32) {
 	}
 }
 
+// ClampTTLs caps each TTL field at the given offsets (recorded by
+// TTLOffsets) to at most max seconds — the in-place patch behind
+// RFC 8767 serve-stale, where an expired cached answer goes out with
+// its TTLs clamped to a short stale lifetime instead of the original
+// (now meaningless) values. TTLs already at or below max are left
+// alone, so short-lived records never gain lifetime from going stale.
+func ClampTTLs(wire []byte, offsets []int, max uint32) {
+	for _, off := range offsets {
+		if off+4 > len(wire) {
+			continue
+		}
+		if binary.BigEndian.Uint32(wire[off:]) > max {
+			binary.BigEndian.PutUint32(wire[off:], max)
+		}
+	}
+}
+
 // PatchID overwrites the transaction ID of a packed message.
 func PatchID(wire []byte, id uint16) {
 	if len(wire) >= 2 {

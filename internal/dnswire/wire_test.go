@@ -176,3 +176,37 @@ func TestBufferPool(t *testing.T) {
 	}
 	PutBuffer(c)
 }
+
+func TestClampTTLs(t *testing.T) {
+	m := testResponse(t) // TTLs 300 (CNAME), 60 (A), 3600 (NS), plus OPT
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs, err := TTLOffsets(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ClampTTLs(wire, offs, 100)
+	var got Message
+	if err := got.Unpack(wire); err != nil {
+		t.Fatal(err)
+	}
+	// TTLs above the clamp come down to it; those at or below keep
+	// their value — the stale clamp never grants lifetime or zeroes.
+	if ttl := got.Answers[0].Header().TTL; ttl != 100 {
+		t.Errorf("CNAME TTL = %d, want clamped to 100", ttl)
+	}
+	if ttl := got.Answers[1].Header().TTL; ttl != 60 {
+		t.Errorf("A TTL = %d, want untouched 60", ttl)
+	}
+	if ttl := got.Authorities[0].Header().TTL; ttl != 100 {
+		t.Errorf("NS TTL = %d, want clamped to 100", ttl)
+	}
+	// The OPT TTL carries flags, not a lifetime; its offset was never
+	// recorded, so the EDNS payload survives clamping.
+	opt, ok := got.OPT()
+	if !ok || opt.UDPSize() != 1232 {
+		t.Errorf("OPT record disturbed by clamp: ok=%v", ok)
+	}
+}
