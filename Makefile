@@ -15,7 +15,7 @@ ci:
 	GOOS=darwin $(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
-	$(GO) test -run xxx -bench='ServeUDPHit|ServeUDPParallelSockets' -benchtime=100x -benchmem .
+	$(GO) test -run xxx -bench='ServeUDPHit|ServeUDPParallelSockets|RouterWithRegistry' -benchtime=100x -benchmem .
 
 build:
 	$(GO) build ./...
@@ -34,13 +34,15 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Archive the serve-path benchmarks as JSON: name, ns/op, allocs/op,
-# averaged over -count=5 runs. BENCH_pr4.json carries the PR-3 hit-path
-# numbers plus the PR-4 multi-socket ingress throughput comparison
-# (sockets=1 vs sockets=4; the ≥1.5× qps bar needs a multi-core host).
+# averaged over -count=5 runs. BENCH_pr5.json carries the hit-path and
+# multi-socket ingress numbers plus the PR-5 routing comparison: the
+# Route hot path with the health registry attached
+# (RouterWithRegistry) against the registry-free availability-first
+# baseline (RouterPolicyAvailability).
 bench-json:
-	$(GO) test -run xxx -bench='ServeUDPHit|DNSMessageCache$$|ServeUDPParallelSockets' -benchmem -count=5 . \
-		| tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_pr4.json
-	cat BENCH_pr4.json
+	$(GO) test -run xxx -bench='ServeUDPHit|DNSMessageCache$$|ServeUDPParallelSockets|RouterWithRegistry|RouterPolicyAvailability' -benchmem -count=5 . \
+		| tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_pr5.json
+	cat BENCH_pr5.json
 
 # Regenerate every table and figure from the paper.
 experiments:
@@ -52,6 +54,7 @@ examples:
 	$(GO) run ./examples/handoff
 	$(GO) run ./examples/multitier
 	$(GO) run ./examples/splitdns
+	$(GO) run ./examples/failover
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -27,6 +27,7 @@ import (
 	"github.com/meccdn/meccdn/internal/dnswire"
 	"github.com/meccdn/meccdn/internal/experiments"
 	"github.com/meccdn/meccdn/internal/geoip"
+	"github.com/meccdn/meccdn/internal/health"
 	"github.com/meccdn/meccdn/internal/lte"
 	"github.com/meccdn/meccdn/internal/simnet"
 	"github.com/meccdn/meccdn/internal/stats"
@@ -311,6 +312,41 @@ func BenchmarkRouterPolicyAvailability(b *testing.B) {
 func BenchmarkRouterPolicyGeo(b *testing.B)         { benchmarkRouterPolicy(b, cdn.GeoNearest{}) }
 func BenchmarkRouterPolicyRoundRobin(b *testing.B)  { benchmarkRouterPolicy(b, &cdn.RoundRobin{}) }
 func BenchmarkRouterPolicyLeastLoaded(b *testing.B) { benchmarkRouterPolicy(b, cdn.LeastLoaded{}) }
+
+// BenchmarkRouterWithRegistry measures the Route hot path with the
+// health registry attached: candidate filtering consults the
+// hysteresis state machine (and the load switch guards ServeDNS)
+// instead of only the static healthy flag. Contrast with
+// BenchmarkRouterPolicyAvailability, the registry-free baseline.
+func BenchmarkRouterWithRegistry(b *testing.B) {
+	b.ReportAllocs()
+	net := simnet.New(4)
+	net.AddNode("hub")
+	router := cdn.NewRouter("bench.test.")
+	router.Replicas = 4
+	reg := health.New(health.Config{DownAfter: 3, UpAfter: 2, MinDwell: -1, Clock: &vclock.Fixed{}})
+	router.UseHealth(reg)
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("cache-%d", i)
+		net.AddNode(name)
+		net.AddLink("hub", name, simnet.Constant(time.Millisecond), 0)
+		s := cdn.NewCacheServer(net.Node(name), cdn.CacheServerConfig{Name: name, CapacityBytes: 1 << 20})
+		router.AddServer(s, geoip.Location{X: float64(i)})
+	}
+	// One probe sweep admits the fleet from probing into the ring.
+	checker := &health.Checker{Registry: reg, Prober: &cdn.CacheProber{Endpoint: net.Node("hub").Endpoint()}}
+	checker.RunOnce(context.Background())
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("obj-%d.bench.test.", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if router.Route(keys[i%len(keys)], cdn.ClientInfo{}) == nil {
+			b.Fatal("no route")
+		}
+	}
+}
 
 // --- Ablation: placement scheme ------------------------------------
 

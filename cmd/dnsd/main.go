@@ -15,11 +15,21 @@
 // races a second upstream after the given delay for tail-latency
 // control.
 //
+// -probe-interval enables active upstream health probing: every
+// forward and stub upstream is probed with a lightweight NS query on
+// that cadence, scored through a hysteresis state machine
+// (-down-after consecutive failures demote, -up-after successes
+// promote), and the forwarders try probe-verified upstreams first.
+// -load-high/-load-low are ingress watermarks on the UDP queue: above
+// the high mark the registry flips its fallback switch (exported as
+// meccdn_health_fallback_active) until load stays under the low mark.
+//
 // -admin starts a side HTTP listener with /metrics (Prometheus text),
-// /healthz (503 while draining), /querylog (sampled JSON-lines trace,
-// rate set by -qlog-sample) and /debug/pprof. On SIGTERM/SIGINT the
-// server drains: it stops accepting, waits up to -drain for in-flight
-// queries, then prints the session's stats.
+// /healthz (503 while draining), /health (upstream health JSON),
+// /querylog (sampled JSON-lines trace, rate set by -qlog-sample) and
+// /debug/pprof. On SIGTERM/SIGINT the server drains: it stops
+// accepting, waits up to -drain for in-flight queries, then prints
+// the session's stats.
 package main
 
 import (
@@ -61,6 +71,12 @@ func main() {
 		maxConns    = flag.Int("max-conns", 0, "concurrent TCP connection cap; connections beyond it are closed at accept (0 means 512)")
 		prefetch    = flag.Float64("prefetch-frac", 0.1, "refresh-ahead window as a fraction of TTL: hits in the last frac of their lifetime trigger an async re-resolve (0 disables)")
 		maxStale    = flag.Duration("max-stale", time.Hour, "RFC 8767 serve-stale window: on upstream failure, expired entries this recent are served with a clamped 30s TTL (0 disables)")
+		probeIvl    = flag.Duration("probe-interval", 0, "active upstream health-probe cadence (0 disables probing)")
+		probeTmo    = flag.Duration("probe-timeout", 0, "per-probe timeout (0 means half the interval, capped at 2s)")
+		downAfter   = flag.Int("down-after", 3, "consecutive probe failures before an upstream is marked down")
+		upAfter     = flag.Int("up-after", 2, "consecutive probe successes before a down upstream recovers")
+		loadHigh    = flag.Float64("load-high", 0, "ingress-load high watermark in [0,1] flipping the fallback switch (0 disables)")
+		loadLow     = flag.Float64("load-low", 0, "ingress-load low watermark; routing restores after load stays below it (0 means half of -load-high)")
 		zones       repeated
 		stubs       repeated
 	)
@@ -86,6 +102,12 @@ func main() {
 		maxConns:    *maxConns,
 		prefetch:    *prefetch,
 		maxStale:    *maxStale,
+		probeIvl:    *probeIvl,
+		probeTmo:    *probeTmo,
+		downAfter:   *downAfter,
+		upAfter:     *upAfter,
+		loadHigh:    *loadHigh,
+		loadLow:     *loadLow,
 		zones:       zones,
 		stubs:       stubs,
 	}
@@ -108,6 +130,9 @@ type serverConfig struct {
 	sockets, maxConns      int
 	prefetch               float64
 	maxStale               time.Duration
+	probeIvl, probeTmo     time.Duration
+	downAfter, upAfter     int
+	loadHigh, loadLow      float64
 	zones, stubs           []string
 }
 
@@ -118,6 +143,8 @@ type daemon struct {
 	cache   *meccdn.DNSCache
 	hub     *meccdn.Telemetry
 	admin   *meccdn.TelemetryAdmin // nil unless -admin was given
+	health  *meccdn.HealthRegistry // nil unless -probe-interval was given
+	checker *meccdn.HealthChecker  // probe loop feeding health
 }
 
 func run(cfg serverConfig) error {
@@ -128,13 +155,20 @@ func run(cfg serverConfig) error {
 	if err := d.srv.Start(); err != nil {
 		return err
 	}
+	if d.checker != nil {
+		d.checker.Start()
+		defer d.checker.Stop()
+		hc := d.health.Config()
+		fmt.Printf("health probing %d upstreams every %v (down after %d failures, up after %d successes)\n",
+			len(d.health.Targets()), hc.ProbeInterval, hc.DownAfter, hc.UpAfter)
+	}
 	if d.admin != nil {
 		if err := d.admin.Start(); err != nil {
 			d.srv.Close()
 			return err
 		}
 		defer d.admin.Close()
-		fmt.Printf("admin endpoint on http://%v (/metrics /healthz /querylog /debug/pprof)\n", d.admin.LocalAddr())
+		fmt.Printf("admin endpoint on http://%v (/metrics /healthz /health /querylog /debug/pprof)\n", d.admin.LocalAddr())
 	}
 	fmt.Printf("dnsd listening on %v (UDP+TCP); Ctrl-C to stop\n", d.srv.LocalAddr())
 
@@ -176,8 +210,22 @@ func build(cfg serverConfig) (*daemon, error) {
 
 	client := &meccdn.Client{Transport: &meccdn.NetTransport{}, Timeout: 3 * time.Second, Retries: 1}
 
+	// Every forward and stub upstream is a candidate probe target for
+	// the health registry (deduplicated by address).
+	var probeTargets []netip.AddrPort
+	seenTarget := make(map[netip.AddrPort]bool)
+	addTargets := func(addrs []netip.AddrPort) {
+		for _, a := range addrs {
+			if !seenTarget[a] {
+				seenTarget[a] = true
+				probeTargets = append(probeTargets, a)
+			}
+		}
+	}
+
+	var stub *meccdn.Stub
 	if len(cfg.stubs) > 0 {
-		stub := meccdn.NewStub(client)
+		stub = meccdn.NewStub(client)
 		stub.FailureThreshold = cfg.maxFailures
 		stub.Cooldown = cfg.cooldown
 		stub.HedgeDelay = cfg.hedge
@@ -191,6 +239,7 @@ func build(cfg serverConfig) (*daemon, error) {
 				return nil, fmt.Errorf("bad stub upstream %q: %w", upstream, err)
 			}
 			stub.Route(domain, addrs...)
+			addTargets(addrs)
 			fmt.Printf("stub-domain %s -> %v\n", meccdn.CanonicalName(domain), addrs)
 		}
 		plugins = append(plugins, stub)
@@ -232,7 +281,29 @@ func build(cfg serverConfig) (*daemon, error) {
 			HedgeDelay:       cfg.hedge,
 		}
 		plugins = append(plugins, fwd)
+		addTargets(addrs)
 		fmt.Printf("forwarding unmatched names to %v\n", addrs)
+	}
+
+	var reg *meccdn.HealthRegistry
+	if cfg.probeIvl > 0 && len(probeTargets) > 0 {
+		reg = meccdn.NewHealthRegistry(meccdn.HealthConfig{
+			ProbeInterval: cfg.probeIvl,
+			ProbeTimeout:  cfg.probeTmo,
+			DownAfter:     cfg.downAfter,
+			UpAfter:       cfg.upAfter,
+			LoadHigh:      cfg.loadHigh,
+			LoadLow:       cfg.loadLow,
+		})
+		for _, a := range probeTargets {
+			reg.Add(a.String(), a.String())
+		}
+		if fwd != nil {
+			fwd.Health = reg
+		}
+		if stub != nil {
+			stub.Health = reg
+		}
 	}
 
 	hub := meccdn.NewTelemetry(meccdn.RealClock())
@@ -248,6 +319,11 @@ func build(cfg serverConfig) (*daemon, error) {
 	// Forward instances whose families would collide by name.
 	if fwd != nil {
 		if err := hub.Registry.Register(fwd.Collectors()...); err != nil {
+			return nil, err
+		}
+	}
+	if reg != nil {
+		if err := hub.Registry.Register(reg.Collectors()...); err != nil {
 			return nil, err
 		}
 	}
@@ -270,13 +346,26 @@ func build(cfg serverConfig) (*daemon, error) {
 	if err := hub.Registry.Register(srv.Collectors()...); err != nil {
 		return nil, err
 	}
-	d := &daemon{srv: srv, metrics: metrics, cache: cache, hub: hub}
+	d := &daemon{srv: srv, metrics: metrics, cache: cache, hub: hub, health: reg}
+	if reg != nil {
+		// Probe goroutines drain with the server; ingress load is the
+		// UDP queue's fill fraction.
+		d.checker = &meccdn.HealthChecker{
+			Registry:   reg,
+			Prober:     &meccdn.DNSProber{Client: client},
+			Background: srv,
+			Load:       srv.IngressLoad,
+		}
+	}
 	if cfg.admin != "" {
 		d.admin = &meccdn.TelemetryAdmin{
 			Addr:     cfg.admin,
 			Registry: hub.Registry,
 			Log:      hub.Log,
 			Healthy:  func() bool { return !srv.Draining() },
+		}
+		if reg != nil {
+			d.admin.Health = func() any { return reg.Snapshot() }
 		}
 	}
 	return d, nil

@@ -134,6 +134,57 @@ www 60 IN A 192.0.2.88
 	}
 }
 
+func TestBuildHealthConfig(t *testing.T) {
+	// -probe-interval builds the registry over the union of forward and
+	// stub upstreams (deduplicated) and wires it into both pickers, the
+	// checker, and the admin /health view.
+	d, err := build(serverConfig{
+		listen:    "127.0.0.1:0",
+		forward:   "192.0.2.10:53,192.0.2.11:53",
+		stubs:     []string{"cdn.test.=192.0.2.11:53,192.0.2.12:53"},
+		admin:     "127.0.0.1:0",
+		probeIvl:  250 * time.Millisecond,
+		downAfter: 2,
+		upAfter:   1,
+		loadHigh:  0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.health == nil || d.checker == nil {
+		t.Fatal("health registry/checker not built")
+	}
+	if got := len(d.health.Targets()); got != 3 {
+		t.Errorf("probe targets = %d, want 3 (deduplicated union)", got)
+	}
+	hc := d.health.Config()
+	if hc.ProbeInterval != 250*time.Millisecond || hc.DownAfter != 2 || hc.UpAfter != 1 || hc.LoadHigh != 0.8 {
+		t.Errorf("health config = %+v", hc)
+	}
+	if d.admin.Health == nil {
+		t.Error("admin /health view not wired")
+	}
+	if d.checker.Background != meccdn.BackgroundTracker(d.srv) {
+		t.Error("checker not drain-gated by the server")
+	}
+
+	// Probing stays off without the flag, and without any upstreams.
+	d2, err := build(serverConfig{listen: "127.0.0.1:0", forward: "192.0.2.10:53"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.health != nil || d2.checker != nil {
+		t.Error("health built without -probe-interval")
+	}
+	d3, err := build(serverConfig{listen: "127.0.0.1:0", probeIvl: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.health != nil {
+		t.Error("health built with no upstreams to probe")
+	}
+}
+
 func TestBuildErrors(t *testing.T) {
 	if _, err := build(serverConfig{listen: ":0", zones: []string{"missing-equals"}}); err == nil {
 		t.Error("bad -zone accepted")

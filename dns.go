@@ -4,6 +4,7 @@ import (
 	"github.com/meccdn/meccdn/internal/dnsclient"
 	"github.com/meccdn/meccdn/internal/dnsserver"
 	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/health"
 	"github.com/meccdn/meccdn/internal/resolver"
 	"github.com/meccdn/meccdn/internal/telemetry"
 	"github.com/meccdn/meccdn/internal/vclock"
@@ -188,6 +189,44 @@ type (
 	// QueryLog is the bounded ring of sampled query records.
 	QueryLog = telemetry.QueryLog
 )
+
+// Health control plane: active probers scoring targets, a per-target
+// hysteresis state machine, and the ingress-load fallback switch.
+type (
+	// HealthConfig parameterizes a health registry: probe cadence,
+	// demotion/promotion thresholds, dwell times, and load watermarks.
+	HealthConfig = health.Config
+	// HealthRegistry tracks per-target probe verdicts through the
+	// probing → healthy → degraded → down hysteresis machine and
+	// drives the ingress-load fallback switch. Routers and forwarders
+	// consult it instead of static health flags.
+	HealthRegistry = health.Registry
+	// HealthChecker runs the periodic, jittered probe loop feeding a
+	// registry.
+	HealthChecker = health.Checker
+	// HealthState is one target's hysteresis state.
+	HealthState = health.State
+	// HealthStatus is one target's externally visible health record.
+	HealthStatus = health.TargetStatus
+	// HealthProber issues one liveness probe against a target.
+	HealthProber = health.Prober
+	// DNSProber probes DNS upstreams with a lightweight NS query over
+	// the client's transport; any well-formed response counts as
+	// alive.
+	DNSProber = health.DNSProber
+)
+
+// Health states.
+const (
+	HealthProbing  = health.StateProbing
+	HealthHealthy  = health.StateHealthy
+	HealthDegraded = health.StateDegraded
+	HealthDown     = health.StateDown
+)
+
+// NewHealthRegistry returns an empty registry with cfg's defaults
+// applied.
+func NewHealthRegistry(cfg HealthConfig) *HealthRegistry { return health.New(cfg) }
 
 // NewTelemetry builds a Hub (span sampler + default DNS metric
 // families) on the given clock.

@@ -58,6 +58,18 @@ func TestFacadeConstructors(t *testing.T) {
 	if !strings.Contains(meccdn.RenderTable1(), "Airbnb") {
 		t.Error("RenderTable1")
 	}
+	reg := meccdn.NewHealthRegistry(meccdn.HealthConfig{DownAfter: 1, UpAfter: 1})
+	if reg == nil {
+		t.Fatal("NewHealthRegistry")
+	}
+	reg.Add("c0", "10.0.0.1")
+	if st, ok := reg.State("c0"); !ok || st != meccdn.HealthProbing {
+		t.Errorf("new target state = %v, want probing", st)
+	}
+	reg.ReportSuccess("c0", time.Millisecond)
+	if st, _ := reg.State("c0"); st != meccdn.HealthHealthy {
+		t.Errorf("state after success = %v, want healthy", st)
+	}
 	if !strings.Contains(meccdn.RenderTable2(), "MEC Provider") {
 		t.Error("RenderTable2")
 	}

@@ -1,0 +1,46 @@
+package cdn
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/health"
+	"github.com/meccdn/meccdn/internal/simnet"
+)
+
+// CacheProber probes cache servers over the simnet content protocol's
+// PING verb. A PONG means the instance is up; an ERR reply (a server
+// whose health flag is flipped off answers "ERR unavailable"), a
+// malformed reply, or a timeout is a probe failure. It implements
+// health.Prober for registries whose targets are CacheServer
+// addresses.
+type CacheProber struct {
+	// Endpoint is the probing vantage point, typically a node
+	// collocated with the C-DNS.
+	Endpoint *simnet.Endpoint
+	// Timeout bounds one probe in virtual time. Zero means 2s.
+	Timeout time.Duration
+}
+
+// Probe implements health.Prober. The target's Addr must be the cache
+// server's bare IP (as registered by Router.AddServerAdvertise).
+func (p *CacheProber) Probe(_ context.Context, t health.TargetID) error {
+	addr, err := netip.ParseAddr(t.Addr)
+	if err != nil {
+		return fmt.Errorf("cdn: probe target %s has bad addr %q: %w", t.Name, t.Addr, err)
+	}
+	timeout := p.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	resp, _, err := p.Endpoint.Exchange(addr, []byte("PING"), timeout)
+	if err != nil {
+		return err
+	}
+	if string(resp) != "PONG" {
+		return fmt.Errorf("cdn: probe of %s answered %q", t.Name, resp)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/meccdn/meccdn/internal/dnsserver"
 	"github.com/meccdn/meccdn/internal/dnswire"
 	"github.com/meccdn/meccdn/internal/geoip"
+	"github.com/meccdn/meccdn/internal/health"
 	"github.com/meccdn/meccdn/internal/telemetry"
 )
 
@@ -161,6 +162,13 @@ type Router struct {
 	// router cannot serve locally are answered with the parent's
 	// address, the paper's cross-tier referral.
 	Parent netip.Addr
+	// Health, when set (via UseHealth), replaces blind trust in the
+	// server's own flag: candidates must be routable per the probe-fed
+	// registry, a new server joins the hash ring only after its first
+	// successful probe, and the registry's ingress-load switch diverts
+	// queries to the parent tier. Nil preserves the historical
+	// behaviour (CacheServer.Healthy alone).
+	Health *health.Registry
 
 	mu      sync.RWMutex
 	servers map[string]*ServerInfo
@@ -174,7 +182,7 @@ type Router struct {
 func (rt *Router) counters() *telemetry.CounterVec {
 	rt.ctrOnce.Do(func() {
 		rt.routed = telemetry.NewCounterVec("meccdn_cdn_routed_total",
-			"C-DNS routing decisions by result (selected, referral, failed, nodata).", "result")
+			"C-DNS routing decisions by result (selected, referral, load_fallback, failed, nodata).", "result")
 	})
 	return rt.routed
 }
@@ -204,6 +212,38 @@ func NewRouter(domain string) *Router {
 	}
 }
 
+// UseHealth attaches a health registry to the router. From then on
+// candidate selection consults the registry's probe-fed verdicts
+// (layered with each server's own flag), newly added servers start in
+// the probing state and enter the hash ring only on their first
+// successful probe, a server demoted to down leaves the ring, and the
+// registry's ingress-load watermark switch diverts queries to the
+// parent tier. Call before AddServer.
+func (rt *Router) UseHealth(reg *health.Registry) {
+	rt.mu.Lock()
+	rt.Health = reg
+	rt.mu.Unlock()
+	reg.OnTransition(func(name string, _, to State) {
+		// The listener runs without the registry lock held, so taking
+		// the router lock here cannot invert Route's rt.mu → registry
+		// ordering.
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		if _, tracked := rt.servers[name]; !tracked {
+			return
+		}
+		if to.Routable() {
+			rt.Ring.Add(name)
+		} else {
+			rt.Ring.Remove(name)
+		}
+	})
+}
+
+// State aliases health.State so callers wiring UseHealth listeners do
+// not need a separate health import.
+type State = health.State
+
 // AddServer registers a cache server with the router.
 func (rt *Router) AddServer(s *CacheServer, loc geoip.Location) {
 	rt.AddServerAdvertise(s, loc, netip.Addr{})
@@ -211,12 +251,22 @@ func (rt *Router) AddServer(s *CacheServer, loc geoip.Location) {
 
 // AddServerAdvertise registers a cache server that is published in
 // DNS answers under advertise (a Service cluster IP) rather than its
-// host address.
+// host address. With a health registry attached the server starts
+// probing and joins the hash ring only after its first successful
+// probe; without one it is instantly routable, as before.
 func (rt *Router) AddServerAdvertise(s *CacheServer, loc geoip.Location, advertise netip.Addr) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.servers[s.Name] = &ServerInfo{Server: s, Location: loc, Advertise: advertise}
-	rt.Ring.Add(s.Name)
+	if rt.Health == nil {
+		rt.Ring.Add(s.Name)
+		return
+	}
+	rt.Health.Add(s.Name, s.Addr().String())
+	if st, ok := rt.Health.State(s.Name); ok && st.Routable() {
+		// Re-registration of a server the registry already vouches for.
+		rt.Ring.Add(s.Name)
+	}
 }
 
 // RemoveServer deregisters a server (scale-down or failure).
@@ -225,6 +275,9 @@ func (rt *Router) RemoveServer(name string) {
 	defer rt.mu.Unlock()
 	delete(rt.servers, name)
 	rt.Ring.Remove(name)
+	if rt.Health != nil {
+		rt.Health.Remove(name)
+	}
 }
 
 // Servers returns the registered server names, sorted.
@@ -263,6 +316,14 @@ func (rt *Router) ServeDNS(ctx context.Context, w dnsserver.ResponseWriter, r *d
 	}
 
 	endHop := telemetry.StartHop(ctx, "cdn-router")
+	if rt.Health != nil && rt.Parent.IsValid() && rt.Health.FallbackActive() {
+		// Ingress-load switch: the MEC site is above its high
+		// watermark, so answer from the fallback path (the paper's DoS
+		// mechanism) until load has dwelled under the low watermark.
+		routed.Inc("load_fallback")
+		endHop("load-fallback")
+		return rt.writeReferral(w, r)
+	}
 	selected := rt.Route(qname, rt.clientInfo(r))
 	var addr netip.Addr
 	switch {
@@ -360,7 +421,11 @@ func Referral(m *dnswire.Message) (netip.Addr, bool) {
 }
 
 // Route selects a cache server for a content key, or nil when no
-// healthy server can serve it locally.
+// healthy server can serve it locally. With a health registry
+// attached, a candidate must pass both the server's own flag and the
+// registry's verdict, and healthy servers are preferred over degraded
+// ones — an all-degraded set still serves best-effort rather than
+// failing over.
 func (rt *Router) Route(key string, client ClientInfo) *ServerInfo {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
@@ -371,13 +436,29 @@ func (rt *Router) Route(key string, client ClientInfo) *ServerInfo {
 	if replicas <= 0 {
 		replicas = 2
 	}
-	var candidates []*ServerInfo
-	for _, name := range rt.Ring.Owners(key, replicas) {
-		if s := rt.servers[name]; s != nil && s.Server.Healthy() {
-			candidates = append(candidates, s)
+	var preferred, degraded []*ServerInfo
+	consider := func(name string) {
+		s := rt.servers[name]
+		if s == nil || !s.Server.Healthy() {
+			return
+		}
+		if rt.Health == nil {
+			preferred = append(preferred, s)
+			return
+		}
+		routable, deg := rt.Health.Eligible(name)
+		switch {
+		case !routable:
+		case deg:
+			degraded = append(degraded, s)
+		default:
+			preferred = append(preferred, s)
 		}
 	}
-	if len(candidates) == 0 {
+	for _, name := range rt.Ring.Owners(key, replicas) {
+		consider(name)
+	}
+	if len(preferred) == 0 && len(degraded) == 0 {
 		// All ring owners are down: fall back to any healthy server,
 		// iterated in sorted order for determinism.
 		names := make([]string, 0, len(rt.servers))
@@ -386,10 +467,12 @@ func (rt *Router) Route(key string, client ClientInfo) *ServerInfo {
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			if s := rt.servers[name]; s.Server.Healthy() {
-				candidates = append(candidates, s)
-			}
+			consider(name)
 		}
+	}
+	candidates := preferred
+	if len(candidates) == 0 {
+		candidates = degraded
 	}
 	if len(candidates) == 0 {
 		return nil

@@ -10,22 +10,61 @@ import (
 	"github.com/meccdn/meccdn/internal/dnsserver"
 	"github.com/meccdn/meccdn/internal/dnswire"
 	"github.com/meccdn/meccdn/internal/geoip"
+	"github.com/meccdn/meccdn/internal/health"
 	"github.com/meccdn/meccdn/internal/simnet"
+	"github.com/meccdn/meccdn/internal/vclock"
 )
 
-// routerFixture is a router over three edge cache servers.
+// routerFixture is a router over three edge cache servers. When built
+// with health (buildHealthFixture), reg/checker/clock drive the probe
+// control plane in virtual time.
 type routerFixture struct {
 	net     *simnet.Network
 	router  *Router
 	servers []*CacheServer
+	reg     *health.Registry
+	checker *health.Checker
+	clock   *vclock.Fixed
 }
 
 func buildRouterFixture(t *testing.T, seed int64) *routerFixture {
+	t.Helper()
+	return buildFixture(t, seed, nil)
+}
+
+// buildHealthFixture builds the same topology with a probe-fed health
+// registry attached; servers are registered but not yet admitted (no
+// probe has run). mutate tweaks the health config before use.
+func buildHealthFixture(t *testing.T, seed int64, mutate func(*health.Config)) *routerFixture {
+	t.Helper()
+	cfg := &health.Config{
+		ProbeInterval: time.Second,
+		DownAfter:     3,
+		UpAfter:       2,
+		MinDwell:      -1, // tests advance the clock explicitly where dwell matters
+		Clock:         &vclock.Fixed{},
+	}
+	if mutate != nil {
+		mutate(cfg)
+	}
+	return buildFixture(t, seed, cfg)
+}
+
+func buildFixture(t *testing.T, seed int64, hc *health.Config) *routerFixture {
 	t.Helper()
 	n := simnet.New(seed)
 	n.AddNode("hub")
 	rt := NewRouter("mycdn.ciab.test.")
 	fx := &routerFixture{net: n, router: rt}
+	if hc != nil {
+		fx.clock, _ = hc.Clock.(*vclock.Fixed)
+		fx.reg = health.New(*hc)
+		rt.UseHealth(fx.reg)
+		fx.checker = &health.Checker{
+			Registry: fx.reg,
+			Prober:   &CacheProber{Endpoint: n.Node("hub").Endpoint()},
+		}
+	}
 	for i := 0; i < 3; i++ {
 		name := fmt.Sprintf("cache-%d", i)
 		n.AddNode(name)
@@ -38,6 +77,12 @@ func buildRouterFixture(t *testing.T, seed int64) *routerFixture {
 		fx.servers = append(fx.servers, s)
 	}
 	return fx
+}
+
+// probe runs one deterministic probe sweep.
+func (fx *routerFixture) probe(t *testing.T) {
+	t.Helper()
+	fx.checker.RunOnce(context.Background())
 }
 
 func routerQuery(t *testing.T, rt *Router, qname string, client string) *dnswire.Message {
@@ -102,10 +147,11 @@ func TestRouterNoDataForNonA(t *testing.T) {
 }
 
 func TestRouterSkipsUnhealthy(t *testing.T) {
-	fx := buildRouterFixture(t, 5)
+	fx := buildHealthFixture(t, 5, nil)
+	fx.probe(t)
 	key := "video.y.mycdn.ciab.test."
 	primary := fx.router.Route(key, ClientInfo{})
-	primary.Server.SetHealthy(false)
+	fx.reg.SetOverride(primary.Server.Name, false)
 	second := fx.router.Route(key, ClientInfo{})
 	if second == nil {
 		t.Fatal("no server after failure")
@@ -116,9 +162,10 @@ func TestRouterSkipsUnhealthy(t *testing.T) {
 }
 
 func TestRouterAllDownFallsBackToParent(t *testing.T) {
-	fx := buildRouterFixture(t, 6)
+	fx := buildHealthFixture(t, 6, nil)
+	fx.probe(t)
 	for _, s := range fx.servers {
-		s.SetHealthy(false)
+		fx.reg.SetOverride(s.Name, false)
 	}
 	parent := netip.MustParseAddr("203.0.113.200")
 	fx.router.Parent = parent
@@ -149,13 +196,184 @@ func TestReferralDetection(t *testing.T) {
 }
 
 func TestRouterAllDownNoParentServfails(t *testing.T) {
-	fx := buildRouterFixture(t, 7)
+	fx := buildHealthFixture(t, 7, nil)
+	fx.probe(t)
 	for _, s := range fx.servers {
-		s.SetHealthy(false)
+		fx.reg.SetOverride(s.Name, false)
 	}
 	resp := routerQuery(t, fx.router, "video.demo1.mycdn.ciab.test.", "")
 	if resp.Rcode != dnswire.RcodeServerFailure {
 		t.Errorf("rcode = %v", resp.Rcode)
+	}
+}
+
+func TestRouterProbingJoinsRingAfterFirstSuccess(t *testing.T) {
+	fx := buildHealthFixture(t, 50, nil)
+	// Registered but never probed: not routable, not in the ring.
+	if got := fx.router.Ring.Members(); len(got) != 0 {
+		t.Fatalf("unprobed servers already in the ring: %v", got)
+	}
+	if sel := fx.router.Route("video.x.mycdn.ciab.test.", ClientInfo{}); sel != nil {
+		t.Fatalf("probing server selected: %s", sel.Server.Name)
+	}
+	fx.probe(t)
+	if got := fx.router.Ring.Members(); len(got) != 3 {
+		t.Fatalf("ring after first probe sweep = %v, want all 3", got)
+	}
+	if sel := fx.router.Route("video.x.mycdn.ciab.test.", ClientInfo{}); sel == nil {
+		t.Fatal("no selection after servers were admitted")
+	}
+}
+
+// TestRouterDemotesDeadCache is the acceptance scenario: a cache that
+// stops answering probes is demoted to down and removed from routing
+// within DownAfter probe sweeps.
+func TestRouterDemotesDeadCache(t *testing.T) {
+	fx := buildHealthFixture(t, 51, nil)
+	fx.probe(t)
+	key := "video.kill.mycdn.ciab.test."
+	victim := fx.router.Route(key, ClientInfo{}).Server
+	// The server dies outright: its node stops answering anything.
+	fx.net.Node(victim.Name).SetHandler(nil)
+	for i := 0; i < 3; i++ { // DownAfter = 3
+		fx.probe(t)
+	}
+	if st, _ := fx.reg.State(victim.Name); st != health.StateDown {
+		t.Fatalf("victim state = %v, want down", st)
+	}
+	for _, m := range fx.router.Ring.Members() {
+		if m == victim.Name {
+			t.Fatal("down server still in the hash ring")
+		}
+	}
+	for i := 0; i < 20; i++ {
+		sel := fx.router.Route(fmt.Sprintf("k%d.mycdn.ciab.test.", i), ClientInfo{})
+		if sel == nil {
+			t.Fatal("survivors not serving")
+		}
+		if sel.Server.Name == victim.Name {
+			t.Fatal("down server still selected")
+		}
+	}
+	// Recovery: the node answers again; UpAfter successes re-admit it.
+	NewCacheServer(fx.net.Node(victim.Name), CacheServerConfig{
+		Name: victim.Name, Site: "mec-1", Tier: TierEdge, CapacityBytes: 1 << 20,
+		Domains: []string{"mycdn.ciab.test."},
+	})
+	fx.probe(t)
+	fx.probe(t)
+	if st, _ := fx.reg.State(victim.Name); st != health.StateHealthy {
+		t.Fatalf("victim state after recovery = %v, want healthy", st)
+	}
+	found := false
+	for _, m := range fx.router.Ring.Members() {
+		if m == victim.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("recovered server not re-admitted to the ring")
+	}
+}
+
+// TestRouterAllDegradedServesBestEffort: a server set that is degraded
+// but not down keeps serving rather than failing over to the parent.
+func TestRouterAllDegradedServesBestEffort(t *testing.T) {
+	fx := buildHealthFixture(t, 52, nil)
+	fx.probe(t)
+	for _, s := range fx.servers {
+		fx.reg.ReportFailure(s.Name) // one failure, dwell disabled: degraded
+		if st, _ := fx.reg.State(s.Name); st != health.StateDegraded {
+			t.Fatalf("%s state = %v, want degraded", s.Name, st)
+		}
+	}
+	fx.router.Parent = netip.MustParseAddr("203.0.113.200")
+	resp := routerQuery(t, fx.router, "video.demo1.mycdn.ciab.test.", "")
+	if _, ok := Referral(resp); ok {
+		t.Fatal("all-degraded set fell back to the parent; want best-effort local serving")
+	}
+	if resp.Rcode != dnswire.RcodeSuccess || len(resp.Answers) != 1 {
+		t.Fatalf("rcode=%v answers=%v", resp.Rcode, resp.Answers)
+	}
+}
+
+// TestRouterPrefersHealthyOverDegraded: degraded ring owners lose to a
+// healthy non-owner only when no healthy owner exists; here we degrade
+// the primary and check the healthy replica wins.
+func TestRouterPrefersHealthyOverDegraded(t *testing.T) {
+	fx := buildHealthFixture(t, 53, nil)
+	fx.probe(t)
+	key := "video.pref.mycdn.ciab.test."
+	primary := fx.router.Route(key, ClientInfo{}).Server
+	fx.reg.ReportFailure(primary.Name)
+	if st, _ := fx.reg.State(primary.Name); st != health.StateDegraded {
+		t.Fatalf("primary state = %v, want degraded", st)
+	}
+	sel := fx.router.Route(key, ClientInfo{})
+	if sel == nil {
+		t.Fatal("no selection")
+	}
+	if sel.Server.Name == primary.Name {
+		t.Error("degraded primary selected over a healthy replica")
+	}
+}
+
+// TestRouterLoadFallback: ingress load above the high watermark
+// diverts queries to the parent tier; sustained low load past the
+// dwell restores MEC-local answers.
+func TestRouterLoadFallback(t *testing.T) {
+	fx := buildHealthFixture(t, 54, func(c *health.Config) {
+		c.LoadHigh = 0.8
+		c.LoadLow = 0.4
+		c.LoadDwell = 2 * time.Second
+	})
+	fx.probe(t)
+	fx.router.Parent = netip.MustParseAddr("203.0.113.200")
+
+	resp := routerQuery(t, fx.router, "video.load.mycdn.ciab.test.", "")
+	if _, ok := Referral(resp); ok {
+		t.Fatal("referral under normal load")
+	}
+	fx.reg.ReportLoad(0.9)
+	if got := fx.reg.Switches(); got != 1 {
+		t.Fatalf("switches counter = %d, want 1", got)
+	}
+	resp = routerQuery(t, fx.router, "video.load.mycdn.ciab.test.", "")
+	if got, ok := Referral(resp); !ok || got != fx.router.Parent {
+		t.Fatalf("query under flood not diverted to parent: %v (%v)", got, ok)
+	}
+	// Load drops under the low watermark; the switch holds until the
+	// dwell has elapsed.
+	fx.reg.ReportLoad(0.2)
+	fx.clock.Advance(time.Second)
+	fx.reg.ReportLoad(0.2)
+	if resp = routerQuery(t, fx.router, "video.load.mycdn.ciab.test.", ""); !fx.reg.FallbackActive() {
+		t.Fatal("switch reset before the dwell elapsed")
+	}
+	fx.clock.Advance(2 * time.Second)
+	fx.reg.ReportLoad(0.2)
+	resp = routerQuery(t, fx.router, "video.load.mycdn.ciab.test.", "")
+	if _, ok := Referral(resp); ok {
+		t.Fatal("still diverted after load dwelled under the low watermark")
+	}
+	if resp.Rcode != dnswire.RcodeSuccess || len(resp.Answers) != 1 {
+		t.Fatalf("local answer not restored: rcode=%v answers=%v", resp.Rcode, resp.Answers)
+	}
+}
+
+// TestRouterSetHealthyStillProbeVisible: the legacy data-plane flag is
+// not bypassed by the registry — a server with the flag off refuses
+// probes, so the control plane demotes it too.
+func TestRouterSetHealthyStillProbeVisible(t *testing.T) {
+	fx := buildHealthFixture(t, 55, nil)
+	fx.probe(t)
+	victim := fx.servers[1]
+	victim.SetHealthy(false)
+	for i := 0; i < 3; i++ {
+		fx.probe(t)
+	}
+	if st, _ := fx.reg.State(victim.Name); st != health.StateDown {
+		t.Fatalf("state = %v, want down (probes must see the data-plane flag)", st)
 	}
 }
 

@@ -43,6 +43,12 @@ func (t Tier) String() string {
 // HIT means served from this server's cache; FILLED means a miss that
 // was filled from the parent tier (the client still gets the object,
 // later and at backhaul cost).
+//
+// Health probes use a separate verb so they touch neither the cache
+// nor the load window:
+//
+//	request:  PING
+//	response: PONG | ERR unavailable
 
 // FetchResult describes how a content request was served.
 type FetchResult struct {
@@ -175,7 +181,12 @@ func (s *CacheServer) Healthy() bool {
 	return s.healthy
 }
 
-// SetHealthy flips the health flag (failure injection).
+// SetHealthy flips the health flag (failure injection). This is the
+// data-plane chaos layer: a server with the flag off refuses content
+// requests and health probes alike, so an attached health.Registry
+// observes the failure and demotes it. For a control-plane override
+// that pins routing without touching the server, use the registry's
+// SetOverride instead.
 func (s *CacheServer) SetHealthy(up bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -219,6 +230,21 @@ func (s *CacheServer) handle(ctx *simnet.Ctx, dg simnet.Datagram) {
 		ctx.Reply([]byte(msg), delay)
 	}
 	reply := func(msg string) { replySized(msg, 0) }
+	if len(fields) == 1 && fields[0] == "PING" {
+		// Health probe: answered before load accounting so probes never
+		// skew the load window, and gated on the health flag so failure
+		// injection (SetHealthy) is visible to the prober, not just to
+		// content requests.
+		s.mu.Lock()
+		healthy := s.healthy
+		s.mu.Unlock()
+		if healthy {
+			reply("PONG")
+		} else {
+			reply("ERR unavailable")
+		}
+		return
+	}
 	if len(fields) != 3 || fields[0] != "GET" {
 		reply("ERR bad-request")
 		return

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/meccdn/meccdn/internal/dnsclient"
 	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/health"
 	"github.com/meccdn/meccdn/internal/telemetry"
 	"github.com/meccdn/meccdn/internal/vclock"
 )
@@ -79,6 +81,14 @@ type Forward struct {
 	// answer. The delay runs on the wall clock, so hedging is only
 	// meaningful on live servers; leave it zero under simnet.
 	HedgeDelay time.Duration
+	// Health, when set, reorders non-cooling upstreams by the probe
+	// registry's verdict before each query: healthy upstreams first,
+	// then unknown, degraded, probing, down — ties broken by EWMA
+	// probe latency, equal keys kept in configured order. Targets are
+	// looked up by their AddrPort string. This layers the active
+	// control plane over the forwarder's own reactive (per-exchange)
+	// cooldown tracking; neither replaces the other.
+	Health *health.Registry
 
 	mu     sync.Mutex
 	health map[netip.AddrPort]*upstreamHealth
@@ -146,10 +156,10 @@ func failoverRcode(rc dnswire.Rcode) bool {
 }
 
 // candidates orders Upstreams for this query: healthy ones first in
-// configured order, cooled-down ones appended as a last resort.
+// configured order (probe-registry-scored when Health is attached),
+// cooled-down ones appended as a last resort.
 func (f *Forward) candidates() []netip.AddrPort {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	now := f.now()
 	healthy := make([]netip.AddrPort, 0, len(f.Upstreams))
 	var cooling []netip.AddrPort
@@ -160,6 +170,25 @@ func (f *Forward) candidates() []netip.AddrPort {
 			continue
 		}
 		healthy = append(healthy, up)
+	}
+	f.mu.Unlock()
+	if f.Health != nil && len(healthy) > 1 {
+		type score struct {
+			rank int
+			ewma time.Duration
+		}
+		scores := make(map[netip.AddrPort]score, len(healthy))
+		for _, up := range healthy {
+			rank, ewma := f.Health.Rank(up.String())
+			scores[up] = score{rank, ewma}
+		}
+		sort.SliceStable(healthy, func(i, j int) bool {
+			a, b := scores[healthy[i]], scores[healthy[j]]
+			if a.rank != b.rank {
+				return a.rank < b.rank
+			}
+			return a.ewma < b.ewma
+		})
 	}
 	return append(healthy, cooling...)
 }
@@ -363,13 +392,14 @@ type Stub struct {
 	routes map[string]*stubRoute
 	// Client performs the exchanges; required.
 	Client *dnsclient.Client
-	// Clock, FailureThreshold, Cooldown, and HedgeDelay configure the
-	// per-route forwarders; see Forward for semantics. They apply to
-	// routes added after they are set.
+	// Clock, FailureThreshold, Cooldown, HedgeDelay, and Health
+	// configure the per-route forwarders; see Forward for semantics.
+	// They apply to routes added after they are set.
 	Clock            vclock.Clock
 	FailureThreshold int
 	Cooldown         time.Duration
 	HedgeDelay       time.Duration
+	Health           *health.Registry
 }
 
 // NewStub returns an empty stub-domain router.
@@ -392,6 +422,7 @@ func (s *Stub) Route(domain string, upstreams ...netip.AddrPort) {
 			FailureThreshold: s.FailureThreshold,
 			Cooldown:         s.Cooldown,
 			HedgeDelay:       s.HedgeDelay,
+			Health:           s.Health,
 		},
 	}
 }

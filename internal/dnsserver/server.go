@@ -325,6 +325,20 @@ func (s *Server) Collectors() []telemetry.Collector {
 	}
 }
 
+// IngressLoad returns the UDP ingress queue occupancy as a fraction
+// in [0, 1]: 0 when idle (or before Start), 1 when the queue is full
+// and arrivals are being shed. This is the load signal fed to the
+// health registry's ingress watermark switch.
+func (s *Server) IngressLoad() float64 {
+	s.mu.Lock()
+	q := s.queue
+	s.mu.Unlock()
+	if q == nil || cap(q) == 0 {
+		return 0
+	}
+	return float64(len(q)) / float64(cap(q))
+}
+
 // DroppedPackets returns the number of datagrams shed on queue
 // overflow since Start.
 func (s *Server) DroppedPackets() uint64 { return s.dropped.Load() }

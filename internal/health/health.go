@@ -1,0 +1,178 @@
+// Package health is the MEC-CDN control plane's view of what is
+// alive: active probers score cache instances and DNS upstreams, a
+// per-target hysteresis state machine turns raw probe results into
+// stable routing decisions, and an ingress-load watermark switch
+// implements the paper's DoS mechanism — when MEC ingress load
+// crosses the high watermark, routing flips to the fallback path
+// (provider L-DNS or parent tier) and only returns once load has
+// stayed under the low watermark for a dwell period.
+//
+// The pieces compose but do not require each other:
+//
+//   - Registry holds targets and their states. It is time-driven but
+//     passive: callers feed it probe outcomes (ReportSuccess /
+//     ReportFailure) and ingress load samples (ReportLoad), and read
+//     back routing verdicts (Routable, Eligible, FallbackActive).
+//     Under simnet the experiment loop drives it in virtual time;
+//     under a live server the Checker drives it from goroutines.
+//   - Checker is the active prober: a jittered periodic loop that
+//     probes every registered target concurrently, gated on the DNS
+//     server's graceful-drain scope so shutdown never leaks probes.
+//   - Prober implementations do one probe: DNSProber speaks real DNS
+//     to an upstream resolver; cdn.CacheProber (in internal/cdn)
+//     speaks the simnet content protocol to a cache instance.
+//
+// The state machine per target:
+//
+//	          first success                ≥DownAfter consecutive failures
+//	probing ────────────────▶ healthy ───────────────────────────▶ down
+//	   │                      │      ▲                              ▲ │
+//	   │ ≥DownAfter failures  │1 fail│≥UpAfter successes            │ │ ≥UpAfter successes
+//	   ▼                      ▼      │ (dwell)                      │ ▼ (dwell)
+//	 down                    degraded ──────≥DownAfter failures─────┘ healthy
+//
+// A new target starts in probing and is not routable until its first
+// successful probe — a freshly (re)scheduled cache never enters the
+// hash ring cold. healthy and degraded are routable; probing and down
+// are not. Demotion to down happens after DownAfter consecutive
+// failures regardless of dwell (a dead server must leave routing
+// within DownAfter probe intervals), while the softer transitions —
+// healthy→degraded on a first failure, and every promotion — respect
+// MinDwell, so a flapping target alternating success and failure
+// faster than the dwell never oscillates the ring.
+package health
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/vclock"
+)
+
+// State is a target's position in the hysteresis state machine.
+type State int
+
+// Target states, in increasing order of distress.
+const (
+	// StateProbing is the admission state: the target is registered
+	// but has not yet answered a probe. Not routable.
+	StateProbing State = iota
+	// StateHealthy targets answer probes and receive traffic.
+	StateHealthy
+	// StateDegraded targets have recently failed probes but not
+	// enough to be declared down. Routable, but healthy candidates
+	// are preferred; an all-degraded server set still serves
+	// best-effort.
+	StateDegraded
+	// StateDown targets failed DownAfter consecutive probes and are
+	// removed from routing until UpAfter consecutive successes.
+	StateDown
+)
+
+// String returns the state label used in metrics and the /health view.
+func (s State) String() string {
+	switch s {
+	case StateProbing:
+		return "probing"
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateDown:
+		return "down"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Routable reports whether the state admits traffic.
+func (s State) Routable() bool { return s == StateHealthy || s == StateDegraded }
+
+// Config parameterizes a Registry and its Checker. The zero value
+// gets sensible defaults from withDefaults; watermark switching is
+// disabled unless LoadHigh > 0.
+type Config struct {
+	// ProbeInterval is the nominal time between probe sweeps; the
+	// Checker jitters each sweep by ±Jitter of this. 0 means 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe exchange. 0 means half the probe
+	// interval, capped at 2s.
+	ProbeTimeout time.Duration
+	// Jitter is the fraction of ProbeInterval each sweep is randomly
+	// advanced or delayed by, de-synchronizing probers across
+	// instances. Negative disables; 0 means 0.1.
+	Jitter float64
+	// DownAfter is the number of consecutive probe failures that
+	// demotes a target to down. 0 means 3.
+	DownAfter int
+	// UpAfter is the number of consecutive probe successes that
+	// promotes a degraded or down target back to healthy. 0 means 2.
+	UpAfter int
+	// MinDwell is the minimum time a target stays in its state before
+	// a soft transition (healthy→degraded, any promotion) is allowed;
+	// demotion to down is exempt. 0 means ProbeInterval; negative
+	// disables dwell entirely.
+	MinDwell time.Duration
+	// EWMAAlpha weighs the newest probe RTT in the target's smoothed
+	// latency score (0 < alpha ≤ 1). 0 means 0.2.
+	EWMAAlpha float64
+
+	// LoadHigh is the ingress-load high watermark: a ReportLoad at or
+	// above it flips routing to the fallback path. 0 disables the
+	// switch.
+	LoadHigh float64
+	// LoadLow is the low watermark: load must stay below it for
+	// LoadDwell before MEC-local routing is restored. 0 means
+	// LoadHigh/2.
+	LoadLow float64
+	// LoadDwell is how long load must remain under LoadLow before the
+	// switch resets. 0 means 2×ProbeInterval.
+	LoadDwell time.Duration
+
+	// Clock supplies time for dwell and load accounting. Nil means a
+	// wall clock; use the simnet clock in experiments.
+	Clock vclock.Clock
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval / 2
+		if c.ProbeTimeout > 2*time.Second {
+			c.ProbeTimeout = 2 * time.Second
+		}
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.1
+	}
+	if c.Jitter < 0 {
+		c.Jitter = 0
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	if c.UpAfter <= 0 {
+		c.UpAfter = 2
+	}
+	if c.MinDwell == 0 {
+		c.MinDwell = c.ProbeInterval
+	}
+	if c.MinDwell < 0 {
+		c.MinDwell = 0
+	}
+	if c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 {
+		c.EWMAAlpha = 0.2
+	}
+	if c.LoadHigh > 0 && c.LoadLow <= 0 {
+		c.LoadLow = c.LoadHigh / 2
+	}
+	if c.LoadDwell <= 0 {
+		c.LoadDwell = 2 * c.ProbeInterval
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.NewReal()
+	}
+	return c
+}

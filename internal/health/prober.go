@@ -1,0 +1,36 @@
+package health
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+
+	"github.com/meccdn/meccdn/internal/dnsclient"
+	"github.com/meccdn/meccdn/internal/dnswire"
+)
+
+// DNSProber probes DNS upstreams by asking for the root NS RRset with
+// recursion disabled — the cheapest question every nameserver can
+// answer from configuration. Any validated response, including a
+// REFUSED, counts as alive: the probe measures reachability and
+// responsiveness, not authority.
+type DNSProber struct {
+	// Client performs the exchange. Its Transport decides whether
+	// probes ride real sockets or a simnet; its Timeout is superseded
+	// by the probe context's deadline only if shorter.
+	Client *dnsclient.Client
+}
+
+// Probe implements Prober. The target's Addr must parse as an
+// ip:port; a malformed address is a permanent probe failure.
+func (p *DNSProber) Probe(ctx context.Context, t TargetID) error {
+	addr, err := netip.ParseAddrPort(t.Addr)
+	if err != nil {
+		return fmt.Errorf("health: probe target %s has bad addr %q: %w", t.Name, t.Addr, err)
+	}
+	q := new(dnswire.Message)
+	q.SetQuestion(".", dnswire.TypeNS)
+	q.RecursionDesired = false
+	_, err = p.Client.Do(ctx, addr, q)
+	return err
+}

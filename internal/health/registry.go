@@ -1,0 +1,449 @@
+package health
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/telemetry"
+)
+
+// target is one probed entity's live scorecard.
+type target struct {
+	name, addr string
+	state      State
+	since      time.Duration // state entry time
+	consecFail int
+	consecOK   int
+	probes     uint64 // total probes reported
+	failures   uint64 // total failed probes
+	ewma       time.Duration
+	lastRTT    time.Duration
+	// override, when non-nil, pins the routing verdict regardless of
+	// state — the test/chaos layer SetHealthy used to be.
+	override *bool
+}
+
+// TargetID names one registered target and its probe address.
+type TargetID struct {
+	Name string
+	Addr string
+}
+
+// TargetStatus is one target's row in the /health admin view.
+type TargetStatus struct {
+	Name       string        `json:"name"`
+	Addr       string        `json:"addr,omitempty"`
+	State      string        `json:"state"`
+	Routable   bool          `json:"routable"`
+	InStateFor time.Duration `json:"in_state_for"`
+	ConsecFail int           `json:"consecutive_failures"`
+	ConsecOK   int           `json:"consecutive_successes"`
+	Probes     uint64        `json:"probes"`
+	Failures   uint64        `json:"failures"`
+	EWMA       time.Duration `json:"ewma_latency"`
+	Override   *bool         `json:"override,omitempty"`
+}
+
+// Status is the registry snapshot served at /health.
+type Status struct {
+	Targets  []TargetStatus `json:"targets"`
+	Load     float64        `json:"ingress_load"`
+	Fallback bool           `json:"fallback_active"`
+	Switches uint64         `json:"switches_total"`
+}
+
+// Registry is the health control plane's source of truth: target
+// states, probe scores, the chaos-override layer, and the
+// ingress-load watermark switch. All methods are safe for concurrent
+// use; transition listeners are invoked without the registry lock
+// held, so they may call back into the registry.
+type Registry struct {
+	cfg Config
+
+	mu        sync.Mutex
+	targets   map[string]*target
+	listeners []func(name string, from, to State)
+
+	// Load watermark switch state.
+	load       float64
+	fallback   bool
+	belowSince time.Duration // -1 when not below LoadLow
+
+	// Instruments. Built once in New; Collectors hands them to a
+	// telemetry.Registry.
+	probes      *telemetry.CounterVec // result=success|failure
+	transitions *telemetry.CounterVec // target, to
+	states      *telemetry.GaugeVec   // state
+	switches    *telemetry.CounterVec // direction=to_fallback|to_local
+	probeRTT    *telemetry.Histogram
+}
+
+// New returns an empty registry with cfg's zero fields defaulted.
+func New(cfg Config) *Registry {
+	return &Registry{
+		cfg:        cfg.withDefaults(),
+		targets:    make(map[string]*target),
+		belowSince: -1,
+		probes: telemetry.NewCounterVec("meccdn_health_probes_total",
+			"Active health probes by outcome.", "result"),
+		transitions: telemetry.NewCounterVec("meccdn_health_transitions_total",
+			"Target state-machine transitions by target and new state.", "target", "to"),
+		states: telemetry.NewGaugeVec("meccdn_health_targets",
+			"Registered targets by current state.", "state"),
+		switches: telemetry.NewCounterVec("meccdn_health_switches_total",
+			"Ingress-load watermark switches by direction.", "direction"),
+		probeRTT: telemetry.NewHistogram("meccdn_health_probe_rtt_seconds",
+			"Round-trip time of successful health probes."),
+	}
+}
+
+// Config returns the registry's resolved configuration (defaults
+// applied); the Checker reads its cadence from here.
+func (r *Registry) Config() Config { return r.cfg }
+
+// Collectors returns the registry's metric families for registration
+// on a telemetry.Registry.
+func (r *Registry) Collectors() []telemetry.Collector {
+	return []telemetry.Collector{
+		r.probes, r.transitions, r.states, r.switches, r.probeRTT,
+		telemetry.NewGaugeFunc("meccdn_health_fallback_active",
+			"1 while the ingress-load switch routes to the fallback path.",
+			func() float64 {
+				if r.FallbackActive() {
+					return 1
+				}
+				return 0
+			}),
+	}
+}
+
+// Add registers a probe target in the probing state. It is not
+// routable until its first successful probe. Re-adding an existing
+// name only updates its probe address.
+func (r *Registry) Add(name, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.targets[name]; ok {
+		t.addr = addr
+		return
+	}
+	r.targets[name] = &target{name: name, addr: addr, state: StateProbing, since: r.cfg.Clock.Now()}
+	r.states.Add(1, StateProbing.String())
+}
+
+// Remove deregisters a target.
+func (r *Registry) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.targets[name]; ok {
+		r.states.Add(-1, t.state.String())
+		delete(r.targets, name)
+	}
+}
+
+// Targets returns the registered targets sorted by name, for probe
+// sweeps.
+func (r *Registry) Targets() []TargetID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TargetID, 0, len(r.targets))
+	for _, t := range r.targets {
+		out = append(out, TargetID{Name: t.name, Addr: t.addr})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// State returns the target's state; ok=false for unknown targets.
+func (r *Registry) State(name string) (State, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.targets[name]
+	if !ok {
+		return StateProbing, false
+	}
+	return t.state, true
+}
+
+// Routable reports whether traffic may be routed to the target. An
+// override wins over the state machine; an unknown target is routable
+// (the registry only vetoes what it tracks).
+func (r *Registry) Routable(name string) bool {
+	ok, _ := r.Eligible(name)
+	return ok
+}
+
+// Eligible is Routable plus the degraded distinction candidate
+// selection needs: degraded targets serve only when no healthy
+// candidate exists.
+func (r *Registry) Eligible(name string) (routable, degraded bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.targets[name]
+	if !ok {
+		return true, false
+	}
+	if t.override != nil {
+		return *t.override, false
+	}
+	return t.state.Routable(), t.state == StateDegraded
+}
+
+// SetOverride pins the target's routing verdict regardless of probe
+// state: the explicit test/chaos API layered over the state machine
+// (what flipping CacheServer.SetHealthy used to express). It reports
+// whether the target is registered.
+func (r *Registry) SetOverride(name string, up bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.targets[name]
+	if !ok {
+		return false
+	}
+	t.override = &up
+	return true
+}
+
+// ClearOverride returns the target to state-machine verdicts.
+func (r *Registry) ClearOverride(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.targets[name]; ok {
+		t.override = nil
+	}
+}
+
+// OnTransition subscribes fn to state transitions. Listeners run
+// synchronously on the goroutine that reported the probe result,
+// after the registry lock is released.
+func (r *Registry) OnTransition(fn func(name string, from, to State)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.listeners = append(r.listeners, fn)
+}
+
+// ReportSuccess records one successful probe of name with the
+// measured round-trip time, advancing the state machine.
+func (r *Registry) ReportSuccess(name string, rtt time.Duration) {
+	r.report(name, true, rtt)
+}
+
+// ReportFailure records one failed probe of name.
+func (r *Registry) ReportFailure(name string) {
+	r.report(name, false, 0)
+}
+
+func (r *Registry) report(name string, ok bool, rtt time.Duration) {
+	now := r.cfg.Clock.Now()
+	r.mu.Lock()
+	t, known := r.targets[name]
+	if !known {
+		r.mu.Unlock()
+		return
+	}
+	t.probes++
+	if ok {
+		r.probes.Inc("success")
+		r.probeRTT.Observe(rtt)
+		t.consecOK++
+		t.consecFail = 0
+		t.lastRTT = rtt
+		if t.ewma == 0 {
+			t.ewma = rtt
+		} else {
+			a := r.cfg.EWMAAlpha
+			t.ewma = time.Duration(a*float64(rtt) + (1-a)*float64(t.ewma))
+		}
+	} else {
+		r.probes.Inc("failure")
+		t.failures++
+		t.consecFail++
+		t.consecOK = 0
+	}
+	from := t.state
+	to := r.nextStateLocked(t, now)
+	var listeners []func(string, State, State)
+	if to != from {
+		t.state = to
+		t.since = now
+		r.states.Add(-1, from.String())
+		r.states.Add(1, to.String())
+		r.transitions.Inc(name, to.String())
+		listeners = r.listeners
+	}
+	r.mu.Unlock()
+	for _, fn := range listeners {
+		fn(name, from, to)
+	}
+}
+
+// nextStateLocked applies the hysteresis rules. Demotion to down is
+// exempt from dwell (a dead target must leave routing within
+// DownAfter probes); every other transition out of a routable state,
+// and every promotion, waits out MinDwell so alternating results
+// cannot flap the target.
+func (r *Registry) nextStateLocked(t *target, now time.Duration) State {
+	dwelled := now-t.since >= r.cfg.MinDwell
+	switch t.state {
+	case StateProbing:
+		if t.consecOK >= 1 {
+			// First successful probe admits the target.
+			return StateHealthy
+		}
+		if t.consecFail >= r.cfg.DownAfter {
+			return StateDown
+		}
+	case StateHealthy:
+		if t.consecFail >= r.cfg.DownAfter {
+			return StateDown
+		}
+		if t.consecFail >= 1 && dwelled {
+			return StateDegraded
+		}
+	case StateDegraded:
+		if t.consecFail >= r.cfg.DownAfter {
+			return StateDown
+		}
+		if t.consecOK >= r.cfg.UpAfter && dwelled {
+			return StateHealthy
+		}
+	case StateDown:
+		if t.consecOK >= r.cfg.UpAfter && dwelled {
+			return StateHealthy
+		}
+	}
+	return t.state
+}
+
+// rank orders states for upstream scoring: untracked targets slot in
+// just after healthy ones (no evidence against them), and anything
+// not routable goes last.
+func stateRank(s State, tracked bool, override *bool) int {
+	if override != nil {
+		if *override {
+			return 0
+		}
+		return 5
+	}
+	if !tracked {
+		return 1
+	}
+	switch s {
+	case StateHealthy:
+		return 0
+	case StateDegraded:
+		return 2
+	case StateProbing:
+		return 3
+	default: // StateDown
+		return 4
+	}
+}
+
+// Rank scores a target for candidate ordering: lower rank is better,
+// ties break on EWMA probe latency (unknown latency sorts as zero,
+// keeping configured order among fresh targets under a stable sort).
+func (r *Registry) Rank(name string) (rank int, ewma time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.targets[name]
+	if !ok {
+		return stateRank(StateProbing, false, nil), 0
+	}
+	return stateRank(t.state, true, t.override), t.ewma
+}
+
+// EWMALatency returns the target's smoothed probe RTT; ok=false when
+// the target is unknown or has never succeeded a probe.
+func (r *Registry) EWMALatency(name string) (time.Duration, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, known := r.targets[name]
+	if !known || t.ewma == 0 {
+		return 0, false
+	}
+	return t.ewma, true
+}
+
+// ReportLoad feeds one ingress-load sample (any monotone measure of
+// MEC ingress pressure: queue occupancy fraction, QPS, …) into the
+// watermark switch. Crossing LoadHigh flips routing to the fallback
+// path immediately; the switch resets only once samples have stayed
+// under LoadLow for LoadDwell — so recovery requires continued
+// reporting, which the Checker provides every sweep.
+func (r *Registry) ReportLoad(load float64) {
+	if r.cfg.LoadHigh <= 0 {
+		return
+	}
+	now := r.cfg.Clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.load = load
+	if !r.fallback {
+		if load >= r.cfg.LoadHigh {
+			r.fallback = true
+			r.belowSince = -1
+			r.switches.Inc("to_fallback")
+		}
+		return
+	}
+	if load >= r.cfg.LoadLow {
+		r.belowSince = -1
+		return
+	}
+	if r.belowSince < 0 {
+		r.belowSince = now
+		return
+	}
+	if now-r.belowSince >= r.cfg.LoadDwell {
+		r.fallback = false
+		r.belowSince = -1
+		r.switches.Inc("to_local")
+	}
+}
+
+// FallbackActive reports whether the ingress-load switch currently
+// routes to the fallback path.
+func (r *Registry) FallbackActive() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fallback
+}
+
+// Switches returns the total watermark switches in both directions.
+func (r *Registry) Switches() uint64 { return r.switches.Sum() }
+
+// Snapshot renders the registry for the /health admin view.
+func (r *Registry) Snapshot() Status {
+	now := r.cfg.Clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Status{
+		Targets:  make([]TargetStatus, 0, len(r.targets)),
+		Load:     r.load,
+		Fallback: r.fallback,
+		Switches: r.switches.Sum(),
+	}
+	for _, t := range r.targets {
+		routable := t.state.Routable()
+		if t.override != nil {
+			routable = *t.override
+		}
+		st.Targets = append(st.Targets, TargetStatus{
+			Name:       t.name,
+			Addr:       t.addr,
+			State:      t.state.String(),
+			Routable:   routable,
+			InStateFor: now - t.since,
+			ConsecFail: t.consecFail,
+			ConsecOK:   t.consecOK,
+			Probes:     t.probes,
+			Failures:   t.failures,
+			EWMA:       t.ewma,
+			Override:   t.override,
+		})
+	}
+	sort.Slice(st.Targets, func(i, j int) bool { return st.Targets[i].Name < st.Targets[j].Name })
+	return st
+}

@@ -21,6 +21,7 @@
 package meccdn
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"github.com/meccdn/meccdn/internal/dnsserver"
 	"github.com/meccdn/meccdn/internal/dnswire"
 	"github.com/meccdn/meccdn/internal/geoip"
+	"github.com/meccdn/meccdn/internal/health"
 	"github.com/meccdn/meccdn/internal/lte"
 	"github.com/meccdn/meccdn/internal/orchestrator"
 	"github.com/meccdn/meccdn/internal/simnet"
@@ -74,6 +76,13 @@ type SiteConfig struct {
 	CDNSProcessing simnet.Sampler
 	// NamePrefix distinguishes multiple sites on one testbed.
 	NamePrefix string
+	// Health, when non-nil, attaches a health registry to the site's
+	// C-DNS: cache instances are admitted into the hash ring only
+	// after their first successful probe, and probe failures demote
+	// them out of routing. The config's Clock defaults to the
+	// testbed's virtual clock. Nil keeps the legacy instantly-routable
+	// behavior.
+	Health *health.Config
 }
 
 // Site is a deployed MEC-CDN edge site.
@@ -99,10 +108,14 @@ type Site struct {
 	Shed *dnsserver.LoadShed
 	// PublicZone holds non-CDN public MEC names.
 	PublicZone *dnsserver.Zone
+	// Health is the site's cache health registry (nil unless
+	// SiteConfig.Health was set).
+	Health *health.Registry
 
 	cfg       SiteConfig
 	tb        *lte.Testbed
 	nextCache int
+	checker   *health.Checker
 
 	stub     *dnsserver.Stub
 	tenants  map[string]*DomainDeployment
@@ -170,6 +183,16 @@ func DeploySite(tb *lte.Testbed, cfg SiteConfig) (*Site, error) {
 	site.Router = cdn.NewRouter(cfg.Domain)
 	site.Router.Policy = cfg.Policy
 	site.Router.Geo = cfg.Geo
+	if cfg.Health != nil {
+		hc := *cfg.Health
+		if hc.Clock == nil {
+			hc.Clock = net.Clock
+		}
+		site.Health = health.New(hc)
+		// Attached before any AddCache so new instances enter the ring
+		// through the probing → healthy admission path.
+		site.Router.UseHealth(site.Health)
+	}
 	for i := 0; i < cfg.CacheServers; i++ {
 		if _, err := site.AddCache(); err != nil {
 			return nil, err
@@ -184,6 +207,14 @@ func DeploySite(tb *lte.Testbed, cfg SiteConfig) (*Site, error) {
 		cdnsProc = simnet.Shifted{Base: cfg.ECSProcessing, Jitter: cdnsProc}
 	}
 	dnsserver.Attach(cdnsNode, dnsserver.Chain(site.Router), cdnsProc)
+	if site.Health != nil {
+		// The Traffic Router doubles as the probe vantage: it PINGs its
+		// own cache fleet, the same path ATC's health protocol takes.
+		site.checker = &health.Checker{
+			Registry: site.Health,
+			Prober:   &cdn.CacheProber{Endpoint: cdnsNode.Endpoint(), Timeout: site.Health.Config().ProbeTimeout},
+		}
+	}
 	cdnsSvc, err := orch.CreateService(orchestrator.ServiceSpec{
 		Name:      prefix + "cdn-traffic-router",
 		Namespace: "cdn",
@@ -264,10 +295,24 @@ func DeploySite(tb *lte.Testbed, cfg SiteConfig) (*Site, error) {
 	return site, nil
 }
 
+// ProbeOnce runs one synchronous health-probe sweep over the site's
+// cache instances. Virtual-time experiments call it between events in
+// place of the wall-clock Checker loop; a site deployed without
+// SiteConfig.Health no-ops. A cache in the probing state joins the
+// hash ring on its first successful sweep.
+func (s *Site) ProbeOnce() {
+	if s.checker == nil {
+		return
+	}
+	s.checker.RunOnce(context.Background())
+}
+
 // AddCache scales the site up by one cache instance: a new MEC node,
 // a fronting Service with a fresh stable cluster IP, and registration
 // with the C-DNS. Routing via the consistent-hash ring means only
-// ~1/N of the content mapping moves.
+// ~1/N of the content mapping moves. With health enabled the instance
+// starts in the probing state and is not routed to until its first
+// successful probe (see ProbeOnce).
 func (s *Site) AddCache() (*cdn.CacheServer, error) {
 	i := s.nextCache
 	s.nextCache++
@@ -297,7 +342,8 @@ func (s *Site) AddCache() (*cdn.CacheServer, error) {
 }
 
 // RemoveCache scales the site down by one instance (the most recently
-// added): it is deregistered from the C-DNS, its Service deleted, and
+// added): it is deregistered from the C-DNS (which also drops it from
+// the health registry when one is attached), its Service deleted, and
 // the server marked unhealthy so in-flight routing skips it.
 func (s *Site) RemoveCache() error {
 	if len(s.Caches) == 0 {

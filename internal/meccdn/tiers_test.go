@@ -8,6 +8,7 @@ import (
 	"github.com/meccdn/meccdn/internal/cdn"
 	"github.com/meccdn/meccdn/internal/dnsserver"
 	"github.com/meccdn/meccdn/internal/geoip"
+	"github.com/meccdn/meccdn/internal/health"
 	"github.com/meccdn/meccdn/internal/lte"
 	"github.com/meccdn/meccdn/internal/simnet"
 )
@@ -136,11 +137,16 @@ func TestSiteScaling(t *testing.T) {
 	}
 }
 
-// TestCacheFailureResilience kills the cache instance the router is
+// TestCacheFailureResilience drains the cache instance the router is
 // steering a name to and verifies the site keeps serving from the
-// survivor — the availability property the health checks buy.
+// survivor — the availability property the health checks buy. The
+// drain goes through the registry's explicit override API, the
+// control-plane analogue of the data-plane SetHealthy kill switch.
 func TestCacheFailureResilience(t *testing.T) {
-	d := deploy(t, 34, nil)
+	d := deploy(t, 34, func(c *SiteConfig) {
+		c.Health = &health.Config{DownAfter: 2, UpAfter: 1, MinDwell: -1}
+	})
+	d.site.ProbeOnce() // admit the probing caches into the ring
 	name := "video.demo1." + testDomain
 	first, err := d.ue.ResolveAndFetch(testDomain, name)
 	if err != nil {
@@ -149,7 +155,7 @@ func TestCacheFailureResilience(t *testing.T) {
 	if !first.Content.Served() {
 		t.Fatalf("baseline not served: %+v", first.Content)
 	}
-	// Find and kill the instance that served it.
+	// Find and drain the instance that served it.
 	owner := d.site.Router.Ring.Owner(name)
 	var victim *cdn.CacheServer
 	for _, c := range d.site.Caches {
@@ -160,7 +166,9 @@ func TestCacheFailureResilience(t *testing.T) {
 	if victim == nil {
 		t.Fatal("no ring owner among caches")
 	}
-	victim.SetHealthy(false)
+	if !d.site.Health.SetOverride(victim.Name, false) {
+		t.Fatalf("victim %s not registered with the health registry", victim.Name)
+	}
 	// Expire the cached DNS answer so the router re-selects.
 	d.tb.Net.Clock.RunUntil(d.tb.Net.Now() + time.Minute)
 

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -15,6 +16,7 @@ import (
 //
 //	/metrics        Prometheus text exposition of Registry
 //	/healthz        readiness probe (503 while draining)
+//	/health         health-registry snapshot as JSON (404 if unwired)
 //	/querylog       drains the sampled query log as JSON lines
 //	/debug/pprof/   the standard Go profiling handlers
 type Admin struct {
@@ -28,6 +30,10 @@ type Admin struct {
 	// DNS server's drain state so load balancers stop sending traffic
 	// during graceful shutdown.
 	Healthy func() bool
+	// Health backs /health with a JSON-serializable snapshot; nil
+	// returns 404. Wire it to a health.Registry's Snapshot so
+	// operators can read target states and the watermark switch.
+	Health func() any
 
 	mu  sync.Mutex
 	ln  net.Listener
@@ -51,6 +57,16 @@ func (a *Admin) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		if a.Health == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(a.Health())
 	})
 	mux.HandleFunc("/querylog", func(w http.ResponseWriter, r *http.Request) {
 		if a.Log == nil {

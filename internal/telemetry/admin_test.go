@@ -31,7 +31,10 @@ func TestAdminEndpoints(t *testing.T) {
 	log.Add(Record{Name: "q.example.", Type: "A", Rcode: "NOERROR", Path: PathEdge})
 
 	healthy := true
-	a := &Admin{Registry: reg, Log: log, Healthy: func() bool { return healthy }}
+	a := &Admin{Registry: reg, Log: log, Healthy: func() bool { return healthy },
+		Health: func() any {
+			return map[string]any{"fallback_active": true}
+		}}
 	ts := httptest.NewServer(a.Handler())
 	defer ts.Close()
 
@@ -65,6 +68,14 @@ func TestAdminEndpoints(t *testing.T) {
 		t.Errorf("second /querylog not empty: %q", body)
 	}
 
+	code, body, hdr = getBody(t, ts, "/health")
+	if code != http.StatusOK || !strings.Contains(body, `"fallback_active": true`) {
+		t.Errorf("/health = %d %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/health content-type = %q", ct)
+	}
+
 	code, body, _ = getBody(t, ts, "/debug/pprof/")
 	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ = %d", code)
@@ -77,6 +88,9 @@ func TestAdminNilLogAndRegistry(t *testing.T) {
 	defer ts.Close()
 	if code, _, _ := getBody(t, ts, "/querylog"); code != http.StatusNotFound {
 		t.Errorf("/querylog with nil log = %d, want 404", code)
+	}
+	if code, _, _ := getBody(t, ts, "/health"); code != http.StatusNotFound {
+		t.Errorf("/health with nil snapshot fn = %d, want 404", code)
 	}
 	if code, body, _ := getBody(t, ts, "/metrics"); code != http.StatusOK || body != "" {
 		t.Errorf("/metrics with nil registry = %d %q", code, body)

@@ -320,6 +320,113 @@ func (v *CounterVec) writeSamples(b *strings.Builder) {
 	v.mu.RUnlock()
 }
 
+// GaugeVec is a gauge family partitioned by label values, e.g.
+// health targets by state. Children are created on first use and live
+// forever, like CounterVec.
+type GaugeVec struct {
+	name, help string
+	labels     []string
+	mu         sync.RWMutex
+	children   map[string]*gaugeChild
+}
+
+type gaugeChild struct {
+	values []string
+	v      atomic.Int64
+}
+
+// NewGaugeVec returns a labelled gauge family.
+func NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{
+		name:     name,
+		help:     help,
+		labels:   labels,
+		children: make(map[string]*gaugeChild),
+	}
+}
+
+func (v *GaugeVec) child(values []string) *gaugeChild {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("telemetry: %s wants %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := vecKey(values)
+	v.mu.RLock()
+	ch := v.children[key]
+	v.mu.RUnlock()
+	if ch != nil {
+		return ch
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ch = v.children[key]; ch == nil {
+		ch = &gaugeChild{values: append([]string(nil), values...)}
+		v.children[key] = ch
+	}
+	return ch
+}
+
+// Set stores n in the series for the given label values.
+func (v *GaugeVec) Set(n int64, values ...string) { v.child(values).v.Store(n) }
+
+// Add increments the series for the given label values by n (negative
+// to decrement).
+func (v *GaugeVec) Add(n int64, values ...string) { v.child(values).v.Add(n) }
+
+// Value returns the gauge for the given label values (0 if the series
+// was never touched).
+func (v *GaugeVec) Value(values ...string) int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if ch := v.children[vecKey(values)]; ch != nil {
+		return ch.v.Load()
+	}
+	return 0
+}
+
+// Snapshot returns the current series as a map keyed by the joined
+// label values (single-label vecs key by the bare value).
+func (v *GaugeVec) Snapshot() map[string]int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]int64, len(v.children))
+	for _, ch := range v.children {
+		out[strings.Join(ch.values, ",")] = ch.v.Load()
+	}
+	return out
+}
+
+// MetricName implements Collector.
+func (v *GaugeVec) MetricName() string { return v.name }
+
+func (v *GaugeVec) metricHelp() string { return v.help }
+func (v *GaugeVec) metricType() string { return "gauge" }
+func (v *GaugeVec) writeSamples(b *strings.Builder) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ch := v.children[k]
+		b.WriteString(v.name)
+		b.WriteByte('{')
+		for i, lbl := range v.labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(lbl)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(ch.values[i]))
+			b.WriteByte('"')
+		}
+		b.WriteString("} ")
+		b.WriteString(strconv.FormatInt(ch.v.Load(), 10))
+		b.WriteByte('\n')
+	}
+	v.mu.RUnlock()
+}
+
 // DefBuckets are the default latency histogram bounds: 100µs to 5s,
 // spanning an edge cache hit (~sub-millisecond) through a WAN
 // recursive resolution (~hundreds of ms) to a timed-out upstream.

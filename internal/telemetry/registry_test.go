@@ -107,6 +107,37 @@ func TestCounterVecValueSumSnapshot(t *testing.T) {
 	}
 }
 
+func TestGaugeVecSetAddSnapshot(t *testing.T) {
+	v := NewGaugeVec("gvec", "h", "state")
+	v.Set(3, "healthy")
+	v.Add(2, "healthy")
+	v.Add(1, "down")
+	v.Add(-1, "down")
+	if v.Value("healthy") != 5 || v.Value("down") != 0 || v.Value("never") != 0 {
+		t.Errorf("values = %d/%d/%d", v.Value("healthy"), v.Value("down"), v.Value("never"))
+	}
+	snap := v.Snapshot()
+	if snap["healthy"] != 5 || snap["down"] != 0 || len(snap) != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	reg := NewRegistry()
+	reg.MustRegister(v)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE gvec gauge",
+		`gvec{state="healthy"} 5`,
+		`gvec{state="down"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestHistogramBucketing(t *testing.T) {
 	h := NewHistogram("hb_seconds", "h") // DefBuckets
 	h.Observe(50 * time.Microsecond)     // first bucket

@@ -106,6 +106,9 @@ type (
 	CacheServerConfig = cdn.CacheServerConfig
 	// Router is the CDN request router (C-DNS).
 	Router = cdn.Router
+	// CacheProber health-checks cache servers over the simulated
+	// content protocol (PING/PONG) for a HealthRegistry.
+	CacheProber = cdn.CacheProber
 	// SelectionPolicy picks a cache server for a request.
 	SelectionPolicy = cdn.SelectionPolicy
 	// Tier is a CDN hierarchy level.
