@@ -7,15 +7,19 @@ GO ?= go
 all: vet test race build
 
 # The gate a commit must pass: static checks (on both supported
-# platforms), a full build, the test suite under the race detector,
-# and a serve-path benchmark smoke run that catches hit-path
+# platforms, so the build-tagged mmsg files are vetted for Linux and
+# for the portable fallback), a full build, the test suite under the
+# race detector, the pool-ownership checker over the packet-buffer
+# packages, and a serve-path benchmark smoke run that catches hit-path
 # regressions without waiting for a full bench sweep.
 ci:
 	GOOS=linux $(GO) vet ./...
 	GOOS=darwin $(GO) vet ./...
+	GOOS=linux $(GO) vet -tags pooldebug ./internal/dnswire/ ./internal/dnsserver/
 	$(GO) build ./...
 	$(GO) test -race ./...
-	$(GO) test -run xxx -bench='ServeUDPHit|ServeUDPParallelSockets|RouterWithRegistry' -benchtime=100x -benchmem .
+	$(GO) test -tags pooldebug ./internal/dnswire/ ./internal/dnsserver/
+	$(GO) test -run xxx -bench='ServeUDPHit|ServeUDPBatch|ServeUDPParallelSockets|RouterWithRegistry' -benchtime=100x -benchmem .
 
 build:
 	$(GO) build ./...
@@ -34,15 +38,15 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Archive the serve-path benchmarks as JSON: name, ns/op, allocs/op,
-# averaged over -count=5 runs. BENCH_pr5.json carries the hit-path and
-# multi-socket ingress numbers plus the PR-5 routing comparison: the
-# Route hot path with the health registry attached
-# (RouterWithRegistry) against the registry-free availability-first
-# baseline (RouterPolicyAvailability).
+# averaged over -count=5 runs. BENCH_pr6.json carries the hit-path
+# numbers after the batched recvmmsg/sendmmsg ingress (ServeUDPHit is
+# now allocation-free; ServeUDPBatch reports packets moved per
+# syscall), the multi-socket ingress numbers, and the PR-5 routing
+# comparison for continuity.
 bench-json:
-	$(GO) test -run xxx -bench='ServeUDPHit|DNSMessageCache$$|ServeUDPParallelSockets|RouterWithRegistry|RouterPolicyAvailability' -benchmem -count=5 . \
-		| tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_pr5.json
-	cat BENCH_pr5.json
+	$(GO) test -run xxx -bench='ServeUDPHit|ServeUDPBatch|DNSMessageCache$$|ServeUDPParallelSockets|RouterWithRegistry|RouterPolicyAvailability' -benchmem -count=5 . \
+		| tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_pr6.json
+	cat BENCH_pr6.json
 
 # Regenerate every table and figure from the paper.
 experiments:

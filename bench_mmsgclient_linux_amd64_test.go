@@ -1,0 +1,138 @@
+//go:build linux && amd64
+
+package meccdn
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// Batched benchmark client: moves whole windows of queries and
+// responses per syscall on a connected UDP socket, so the serve-path
+// benchmarks measure the server's per-query cost instead of the
+// client's per-packet syscall latency (which dominates on the
+// single-core CI runner). Mirrors the server's mmsg ingress/egress but
+// far simpler — a connected socket needs no sockaddr bookkeeping.
+
+const benchSendmmsgTrap uintptr = 307 // amd64; see internal/dnsserver/mmsg_sendnum_amd64.go
+
+type benchMmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+}
+
+type benchUDPClient struct {
+	conn *net.UDPConn
+	rc   syscall.RawConn
+	hdrs []benchMmsghdr
+	iovs []syscall.Iovec
+	bufs [][]byte
+	// send/recv window state for the raw-conn callbacks
+	left  int
+	errno syscall.Errno
+}
+
+func newBenchUDPClient(conn *net.UDPConn) (*benchUDPClient, error) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	return &benchUDPClient{conn: conn, rc: rc}, nil
+}
+
+func (c *benchUDPClient) ensure(n int) {
+	if cap(c.hdrs) >= n {
+		c.hdrs = c.hdrs[:n]
+		c.iovs = c.iovs[:n]
+		c.bufs = c.bufs[:n]
+		return
+	}
+	c.hdrs = make([]benchMmsghdr, n)
+	c.iovs = make([]syscall.Iovec, n)
+	c.bufs = make([][]byte, n)
+	for i := range c.bufs {
+		c.bufs[i] = make([]byte, 4096)
+	}
+}
+
+// sendN transmits n copies of wire with as few sendmmsg calls as the
+// socket allows.
+func (c *benchUDPClient) sendN(wire []byte, n int) error {
+	c.ensure(n)
+	for i := 0; i < n; i++ {
+		c.iovs[i].Base = unsafe.SliceData(wire)
+		c.iovs[i].SetLen(len(wire))
+		h := &c.hdrs[i].hdr
+		h.Name, h.Namelen = nil, 0 // connected socket
+		h.Iov = &c.iovs[i]
+		h.Iovlen = 1
+	}
+	c.left, c.errno = n, 0
+	err := c.rc.Write(func(fd uintptr) bool {
+		for c.left > 0 {
+			off := len(c.hdrs) - c.left
+			sent, _, errno := syscall.Syscall6(benchSendmmsgTrap, fd,
+				uintptr(unsafe.Pointer(&c.hdrs[off])), uintptr(c.left), 0, 0, 0)
+			switch errno {
+			case 0:
+				c.left -= int(sent)
+			case syscall.EINTR:
+			case syscall.EAGAIN:
+				return false
+			default:
+				c.errno = errno
+				return true
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if c.errno != 0 {
+		return c.errno
+	}
+	return nil
+}
+
+// recvN blocks until n datagrams have been received (deadlines on the
+// socket apply).
+func (c *benchUDPClient) recvN(n int) error {
+	c.ensure(n)
+	for i := 0; i < n; i++ {
+		c.iovs[i].Base = unsafe.SliceData(c.bufs[i])
+		c.iovs[i].SetLen(len(c.bufs[i]))
+		h := &c.hdrs[i].hdr
+		h.Name, h.Namelen = nil, 0
+		h.Iov = &c.iovs[i]
+		h.Iovlen = 1
+		h.Flags = 0
+	}
+	c.left, c.errno = n, 0
+	err := c.rc.Read(func(fd uintptr) bool {
+		for c.left > 0 {
+			off := len(c.hdrs) - c.left
+			got, _, errno := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+				uintptr(unsafe.Pointer(&c.hdrs[off])), uintptr(c.left), 0, 0, 0)
+			switch errno {
+			case 0:
+				c.left -= int(got)
+			case syscall.EINTR:
+			case syscall.EAGAIN:
+				return false
+			default:
+				c.errno = errno
+				return true
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if c.errno != 0 {
+		return c.errno
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+//go:build !(linux && amd64)
+
+package meccdn
+
+import "net"
+
+// Portable benchmark client: one write/read syscall per datagram. The
+// serve-path benchmarks then include per-packet client syscall cost;
+// compare runs only against the same platform.
+
+type benchUDPClient struct {
+	conn *net.UDPConn
+	buf  []byte
+}
+
+func newBenchUDPClient(conn *net.UDPConn) (*benchUDPClient, error) {
+	return &benchUDPClient{conn: conn, buf: make([]byte, 4096)}, nil
+}
+
+func (c *benchUDPClient) sendN(wire []byte, n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := c.conn.Write(wire); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *benchUDPClient) recvN(n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := c.conn.Read(c.buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

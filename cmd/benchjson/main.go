@@ -25,6 +25,9 @@ type result struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	Count       int     `json:"count"`
+	// Metrics carries custom b.ReportMetric units (e.g. "pkts/batch"),
+	// averaged like the built-ins. Omitted when a benchmark reports none.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -47,6 +50,12 @@ func main() {
 		a.NsPerOp += r.NsPerOp
 		a.AllocsPerOp += r.AllocsPerOp
 		a.BytesPerOp += r.BytesPerOp
+		for unit, v := range r.Metrics {
+			if a.Metrics == nil {
+				a.Metrics = map[string]float64{}
+			}
+			a.Metrics[unit] += v
+		}
 		a.Count++
 	}
 	if err := sc.Err(); err != nil {
@@ -58,13 +67,20 @@ func main() {
 	for _, name := range order {
 		a := agg[name]
 		n := float64(a.Count)
-		out = append(out, result{
+		avg := result{
 			Name:        a.Name,
 			NsPerOp:     a.NsPerOp / n,
 			AllocsPerOp: a.AllocsPerOp / n,
 			BytesPerOp:  a.BytesPerOp / n,
 			Count:       a.Count,
-		})
+		}
+		if len(a.Metrics) > 0 {
+			avg.Metrics = make(map[string]float64, len(a.Metrics))
+			for unit, v := range a.Metrics {
+				avg.Metrics[unit] = v / n
+			}
+		}
+		out = append(out, avg)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -90,13 +106,19 @@ func parseLine(line string) (result, bool) {
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
 		case "B/op":
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
+		default:
+			// Custom b.ReportMetric units, e.g. "pkts/batch".
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
 		}
 	}
 	if r.NsPerOp == 0 {

@@ -68,6 +68,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "UDP worker goroutines serving the ingress queue (0 means GOMAXPROCS)")
 		udpQueue    = flag.Int("udp-queue", 0, "UDP ingress queue depth; packets beyond it are shed (0 means 4x workers)")
 		sockets     = flag.Int("sockets", 0, "SO_REUSEPORT-sharded UDP ingress sockets (0 means GOMAXPROCS; 1 or unsupported platforms use a single socket)")
+		batch       = flag.Int("batch", 0, "max UDP datagrams moved per syscall via recvmmsg/sendmmsg (0 means 32 on Linux; 1 disables batching; capped at 64; non-Linux always 1)")
 		maxConns    = flag.Int("max-conns", 0, "concurrent TCP connection cap; connections beyond it are closed at accept (0 means 512)")
 		prefetch    = flag.Float64("prefetch-frac", 0.1, "refresh-ahead window as a fraction of TTL: hits in the last frac of their lifetime trigger an async re-resolve (0 disables)")
 		maxStale    = flag.Duration("max-stale", time.Hour, "RFC 8767 serve-stale window: on upstream failure, expired entries this recent are served with a clamped 30s TTL (0 disables)")
@@ -99,6 +100,7 @@ func main() {
 		workers:     *workers,
 		udpQueue:    *udpQueue,
 		sockets:     *sockets,
+		batch:       *batch,
 		maxConns:    *maxConns,
 		prefetch:    *prefetch,
 		maxStale:    *maxStale,
@@ -128,6 +130,7 @@ type serverConfig struct {
 	drain                  time.Duration
 	workers, udpQueue      int
 	sockets, maxConns      int
+	batch                  int
 	prefetch               float64
 	maxStale               time.Duration
 	probeIvl, probeTmo     time.Duration
@@ -339,6 +342,7 @@ func build(cfg serverConfig) (*daemon, error) {
 		Workers:    cfg.workers,
 		QueueDepth: cfg.udpQueue,
 		Sockets:    nsockets,
+		Batch:      cfg.batch,
 		MaxConns:   cfg.maxConns,
 	}
 	// Refresh-ahead prefetches drain with the server's in-flight work.

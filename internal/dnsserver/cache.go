@@ -100,12 +100,15 @@ type Cache struct {
 	prefetchSem chan struct{}
 }
 
-// cacheCounters are the cache's effectiveness counters as telemetry
-// instruments: shared atomics across shards (replacing the old
-// per-shard ad-hoc fields), registrable on a telemetry.Registry for
-// live /metrics exposition.
+// cacheCounters are the cache's off-hot-path counters as telemetry
+// instruments (shared atomics are fine for events this rare),
+// registrable on a telemetry.Registry for live /metrics exposition.
+// The per-lookup counters — hits, misses, and friends — live on the
+// shards instead: every lookup already holds its shard's lock, so a
+// plain field under that lock counts for free, where a shared atomic
+// would bounce a cache line between every serving core.
 type cacheCounters struct {
-	hits, misses, negHits, expired, evictions, coalesced            *telemetry.Counter
+	coalesced                                                       *telemetry.Counter
 	prefetchIssued, prefetchCoalesced, prefetchDropped, staleServes *telemetry.Counter
 }
 
@@ -117,6 +120,9 @@ type cacheShard struct {
 	max     int
 	ctr     *cacheCounters
 	flights map[string]*flight
+	// Per-lookup effectiveness counters, guarded by mu (see
+	// cacheCounters). Summed across shards at scrape time.
+	hits, misses, negHits, expired, evictions uint64
 }
 
 // flight is one in-progress upstream exchange that concurrent misses
@@ -159,11 +165,6 @@ func NewCache(clock vclock.Clock) *Cache {
 func (c *Cache) init() {
 	c.once.Do(func() {
 		c.ctr = cacheCounters{
-			hits:              telemetry.NewCounter("meccdn_dns_cache_hits_total", "Cache lookups answered from a live entry."),
-			misses:            telemetry.NewCounter("meccdn_dns_cache_misses_total", "Cache lookups with no entry for the key."),
-			negHits:           telemetry.NewCounter("meccdn_dns_cache_negative_hits_total", "Cache hits that served a negative (NXDOMAIN/NODATA) entry."),
-			expired:           telemetry.NewCounter("meccdn_dns_cache_expired_total", "Cache lookups that found an entry past its TTL."),
-			evictions:         telemetry.NewCounter("meccdn_dns_cache_evictions_total", "Entries evicted by per-shard LRU pressure."),
 			coalesced:         telemetry.NewCounter("meccdn_dns_cache_coalesced_total", "Queries that shared another query's in-flight upstream exchange."),
 			prefetchIssued:    telemetry.NewCounter("meccdn_dns_cache_prefetch_issued_total", "Refresh-ahead prefetches launched for near-expiry hits."),
 			prefetchCoalesced: telemetry.NewCounter("meccdn_dns_cache_prefetch_coalesced_total", "Prefetch attempts skipped because a refresh or resolve for the key was already in flight."),
@@ -207,13 +208,38 @@ func (c *Cache) init() {
 }
 
 // Collectors returns the cache's metric families for registration on
-// a telemetry.Registry: the effectiveness counters plus entry/shard
-// gauges snapshotted at scrape time.
+// a telemetry.Registry: the effectiveness counters (the per-lookup
+// ones summed across shards at scrape time) plus entry/shard gauges.
 func (c *Cache) Collectors() []telemetry.Collector {
 	c.init()
+	shardSum := func(pick func(*cacheShard) uint64) func() float64 {
+		return func() float64 {
+			var total uint64
+			for _, sh := range c.shards {
+				sh.mu.Lock()
+				total += pick(sh)
+				sh.mu.Unlock()
+			}
+			return float64(total)
+		}
+	}
 	return []telemetry.Collector{
-		c.ctr.hits, c.ctr.misses, c.ctr.negHits, c.ctr.expired,
-		c.ctr.evictions, c.ctr.coalesced,
+		telemetry.NewCounterFunc("meccdn_dns_cache_hits_total",
+			"Cache lookups answered from a live entry.",
+			shardSum(func(sh *cacheShard) uint64 { return sh.hits })),
+		telemetry.NewCounterFunc("meccdn_dns_cache_misses_total",
+			"Cache lookups with no entry for the key.",
+			shardSum(func(sh *cacheShard) uint64 { return sh.misses })),
+		telemetry.NewCounterFunc("meccdn_dns_cache_negative_hits_total",
+			"Cache hits that served a negative (NXDOMAIN/NODATA) entry.",
+			shardSum(func(sh *cacheShard) uint64 { return sh.negHits })),
+		telemetry.NewCounterFunc("meccdn_dns_cache_expired_total",
+			"Cache lookups that found an entry past its TTL.",
+			shardSum(func(sh *cacheShard) uint64 { return sh.expired })),
+		telemetry.NewCounterFunc("meccdn_dns_cache_evictions_total",
+			"Entries evicted by per-shard LRU pressure.",
+			shardSum(func(sh *cacheShard) uint64 { return sh.evictions })),
+		c.ctr.coalesced,
 		c.ctr.prefetchIssued, c.ctr.prefetchCoalesced,
 		c.ctr.prefetchDropped, c.ctr.staleServes,
 		telemetry.NewGaugeFunc("meccdn_dns_cache_entries",
@@ -270,11 +296,6 @@ func (c *Cache) Name() string { return "cache" }
 func (c *Cache) Stats() CacheStats {
 	c.init()
 	s := CacheStats{
-		Hits:              c.ctr.hits.Value(),
-		Misses:            c.ctr.misses.Value(),
-		NegativeHits:      c.ctr.negHits.Value(),
-		Expired:           c.ctr.expired.Value(),
-		Evictions:         c.ctr.evictions.Value(),
 		Coalesced:         c.ctr.coalesced.Value(),
 		Shards:            len(c.shards),
 		PrefetchIssued:    c.ctr.prefetchIssued.Value(),
@@ -285,6 +306,11 @@ func (c *Cache) Stats() CacheStats {
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 		s.Entries += sh.lru.Len()
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		s.NegativeHits += sh.negHits
+		s.Expired += sh.expired
+		s.Evictions += sh.evictions
 		sh.mu.Unlock()
 	}
 	return s
@@ -555,8 +581,13 @@ func (c *Cache) serveStale(sh *cacheShard, f *flight, key string, w ResponseWrit
 			dnswire.PatchID(wire, r.Msg.ID)
 			dnswire.PatchReplyBits(wire, r.Msg.RecursionDesired, r.Msg.CheckingDisabled)
 			dnswire.ClampTTLs(wire, ent.ttlOffs, ttl)
-			err := ww.WriteWire(wire)
-			dnswire.PutBuffer(buf)
+			var err error
+			if ow, ok := w.(OwnedWireWriter); ok {
+				err = ow.WriteWireOwned(buf, len(wire))
+			} else {
+				err = ww.WriteWire(wire)
+				dnswire.PutBuffer(buf)
+			}
 			if err != nil {
 				return dnswire.RcodeServerFailure, err
 			}
@@ -595,8 +626,8 @@ func (c *Cache) serveHit(sh *cacheShard, key []byte, now time.Duration, w Respon
 	sh.mu.Lock()
 	el, ok := sh.items[string(key)] // no alloc: map lookup by converted key
 	if !ok {
+		sh.misses++
 		sh.mu.Unlock()
-		c.ctr.misses.Inc()
 		return lookupResult{}
 	}
 	ent := el.Value.(*cacheEntry)
@@ -605,23 +636,22 @@ func (c *Cache) serveHit(sh *cacheShard, key []byte, now time.Duration, w Respon
 			// Keep the expired entry: it is the serve-stale fallback
 			// if the refill fails, and store() replaces it if the
 			// refill succeeds. Still a miss for accounting.
+			sh.expired++
 			sh.mu.Unlock()
-			c.ctr.expired.Inc()
 			return lookupResult{stale: ent}
 		}
 		sh.lru.Remove(el)
 		delete(sh.items, string(key))
+		sh.expired++
 		sh.mu.Unlock()
-		c.ctr.expired.Inc()
 		return lookupResult{}
 	}
 	sh.lru.MoveToFront(el)
-	negative := ent.msg.Rcode != dnswire.RcodeSuccess || len(ent.msg.Answers) == 0
-	sh.mu.Unlock()
-	c.ctr.hits.Inc()
-	if negative {
-		c.ctr.negHits.Inc()
+	sh.hits++
+	if ent.msg.Rcode != dnswire.RcodeSuccess || len(ent.msg.Answers) == 0 {
+		sh.negHits++
 	}
+	sh.mu.Unlock()
 	res := lookupResult{hit: true}
 	if frac := c.PrefetchFrac; frac > 0 {
 		life := ent.expires - ent.stored
@@ -638,8 +668,16 @@ func (c *Cache) serveHit(sh *cacheShard, key []byte, now time.Duration, w Respon
 			dnswire.PatchID(wire, r.Msg.ID)
 			dnswire.PatchReplyBits(wire, r.Msg.RecursionDesired, r.Msg.CheckingDisabled)
 			dnswire.AgeTTLs(wire, ent.ttlOffs, aged)
-			err := ww.WriteWire(wire)
-			dnswire.PutBuffer(buf)
+			// Hand the patched buffer itself to an owning writer (the
+			// server's batched UDP writer) instead of paying one more
+			// copy between the cache and the socket.
+			var err error
+			if ow, ok := w.(OwnedWireWriter); ok {
+				err = ow.WriteWireOwned(buf, len(wire))
+			} else {
+				err = ww.WriteWire(wire)
+				dnswire.PutBuffer(buf)
+			}
 			if err != nil {
 				res.rcode, res.err = dnswire.RcodeServerFailure, err
 				return res
@@ -711,7 +749,7 @@ func (c *Cache) store(sh *cacheShard, key string, msg *dnswire.Message) {
 		oldest := sh.lru.Back()
 		sh.lru.Remove(oldest)
 		delete(sh.items, oldest.Value.(*cacheEntry).key)
-		sh.ctr.evictions.Inc()
+		sh.evictions++
 	}
 	sh.items[key] = sh.lru.PushFront(ent)
 }

@@ -327,9 +327,14 @@ func (f *Forward) hedgedExchange(ctx context.Context, primary, secondary netip.A
 		up   netip.AddrPort
 	}
 	ch := make(chan result, 2)
+	// The losing exchange can still be running when the winner returns
+	// control to ServeDNS — and the server recycles r.Msg for the next
+	// packet the moment ServeDNS is done. Clone once up front so the
+	// stragglers hold their own copy instead of racing the reuse.
+	q := r.Msg.Clone()
 	launch := func(up netip.AddrPort) {
 		go func() {
-			resp, err := f.Client.Do(ctx, up, r.Msg)
+			resp, err := f.Client.Do(ctx, up, q)
 			ch <- result{resp, err, up}
 		}()
 	}

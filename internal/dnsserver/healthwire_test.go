@@ -89,17 +89,17 @@ func TestIngressLoad(t *testing.T) {
 	if got := s.IngressLoad(); got != 0 {
 		t.Fatalf("IngressLoad before Start = %v, want 0", got)
 	}
-	s.queue = make(chan udpPacket, 4)
+	s.queue = make(chan *udpBatch, 4)
 	if got := s.IngressLoad(); got != 0 {
 		t.Fatalf("IngressLoad with empty queue = %v, want 0", got)
 	}
-	s.queue <- udpPacket{}
-	s.queue <- udpPacket{}
+	s.queue <- &udpBatch{}
+	s.queue <- &udpBatch{}
 	if got := s.IngressLoad(); got != 0.5 {
 		t.Fatalf("IngressLoad at 2/4 = %v, want 0.5", got)
 	}
-	s.queue <- udpPacket{}
-	s.queue <- udpPacket{}
+	s.queue <- &udpBatch{}
+	s.queue <- &udpBatch{}
 	if got := s.IngressLoad(); got != 1 {
 		t.Fatalf("IngressLoad at capacity = %v, want 1", got)
 	}

@@ -78,6 +78,13 @@ func (l *LoadShed) RecordShed() {
 	sc.Inc()
 }
 
+// RecordShedN is RecordShed for a whole shed batch: the batched
+// ingress drops a full recvmmsg batch at a time on queue overflow.
+func (l *LoadShed) RecordShedN(n uint64) {
+	sc, _ := l.counters()
+	sc.Add(n)
+}
+
 // overloaded records one arrival and reports whether it exceeds the
 // token-bucket budget.
 func (l *LoadShed) overloaded() bool {
@@ -199,8 +206,11 @@ func (m *Metrics) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, ne
 	rcode, err := next.ServeDNS(ctx, w, r)
 	elapsed := clock.Now() - start
 
-	queries.Inc(r.Type().String())
-	rcodes.Inc(rcode.String())
+	// Inc1 avoids the variadic []string allocation Inc pays per call;
+	// Type/Rcode String() return static strings for known values, so
+	// this pair is allocation-free on the hot path.
+	queries.Inc1(r.Type().String())
+	rcodes.Inc1(rcode.String())
 	duration.Observe(elapsed)
 
 	m.mu.Lock()

@@ -1,0 +1,299 @@
+//go:build linux
+
+package dnsserver
+
+import (
+	"net/netip"
+	"strconv"
+	"syscall"
+	"unsafe"
+
+	"github.com/meccdn/meccdn/internal/dnswire"
+)
+
+// Batched UDP syscalls. Under the paper's DoS-threshold load the
+// per-packet kernel crossing dominates the serve cost: recvmmsg and
+// sendmmsg move up to a whole batch of datagrams per crossing, so the
+// syscall cost amortizes across the batch instead of repeating per
+// query. The read loop arms a batch of pooled buffers, receives into
+// all of them with one recvmmsg, and hands the filled prefix to the
+// worker pool; workers queue their packed responses and flush them
+// back out the arrival socket with one sendmmsg.
+//
+// Everything here sticks to package syscall — no x/sys dependency.
+// SYS_RECVMMSG exists in the stdlib tables on every linux arch;
+// sendmmsg's number is supplied per-arch by the mmsg_sendnum_*.go
+// files (0 means "not wired up", degrading egress to a sendto loop).
+
+const (
+	batchingSupported = true
+	defaultBatch      = 32
+)
+
+// mmsghdr mirrors the kernel's struct mmsghdr. Go's natural trailing
+// padding after the uint32 matches the C layout on both 64-bit
+// (4 padding bytes) and 32-bit (none) architectures.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32 // bytes received/sent for this message (kernel out-param)
+}
+
+func recvmmsg(fd uintptr, hdrs []mmsghdr) (int, syscall.Errno) {
+	n, _, errno := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+		uintptr(unsafe.Pointer(&hdrs[0])), uintptr(len(hdrs)), 0, 0, 0)
+	return int(n), errno
+}
+
+func sendmmsg(fd uintptr, hdrs []mmsghdr) (int, syscall.Errno) {
+	n, _, errno := syscall.Syscall6(sendmmsgTrap, fd,
+		uintptr(unsafe.Pointer(&hdrs[0])), uintptr(len(hdrs)), 0, 0, 0)
+	return int(n), errno
+}
+
+// putSockaddr encodes addr into rsa for sending, preserving the
+// address family the kernel reported it with — a v4-mapped client on a
+// dual-stack socket keeps its 4-in-6 form — and returns the sockaddr
+// length for Msghdr.Namelen.
+func putSockaddr(rsa *syscall.RawSockaddrInet6, addr netip.AddrPort) uint32 {
+	a := addr.Addr()
+	port := addr.Port()
+	if a.Is4() {
+		rsa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		rsa4.Family = syscall.AF_INET
+		p := (*[2]byte)(unsafe.Pointer(&rsa4.Port))
+		p[0], p[1] = byte(port>>8), byte(port) // sin_port is big-endian
+		rsa4.Addr = a.As4()
+		return syscall.SizeofSockaddrInet4
+	}
+	rsa.Family = syscall.AF_INET6
+	p := (*[2]byte)(unsafe.Pointer(&rsa.Port))
+	p[0], p[1] = byte(port>>8), byte(port)
+	rsa.Flowinfo = 0
+	rsa.Addr = a.As16()
+	rsa.Scope_id = 0
+	if z := a.Zone(); z != "" {
+		// The ingress path stores the kernel's numeric scope id as the
+		// zone (see sockaddrToAddrPort), so it round-trips without an
+		// interface-name lookup.
+		if id, err := strconv.ParseUint(z, 10, 32); err == nil {
+			rsa.Scope_id = uint32(id)
+		}
+	}
+	return syscall.SizeofSockaddrInet6
+}
+
+// sockaddrToAddrPort decodes a kernel-filled sockaddr. Numeric scope
+// ids become the netip zone verbatim; only putSockaddr ever reads them
+// back.
+func sockaddrToAddrPort(rsa *syscall.RawSockaddrInet6) netip.AddrPort {
+	switch rsa.Family {
+	case syscall.AF_INET:
+		rsa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		p := (*[2]byte)(unsafe.Pointer(&rsa4.Port))
+		return netip.AddrPortFrom(netip.AddrFrom4(rsa4.Addr), uint16(p[0])<<8|uint16(p[1]))
+	case syscall.AF_INET6:
+		p := (*[2]byte)(unsafe.Pointer(&rsa.Port))
+		addr := netip.AddrFrom16(rsa.Addr)
+		if rsa.Scope_id != 0 {
+			addr = addr.WithZone(strconv.FormatUint(uint64(rsa.Scope_id), 10))
+		}
+		return netip.AddrPortFrom(addr, uint16(p[0])<<8|uint16(p[1]))
+	}
+	return netip.AddrPort{}
+}
+
+// ingressIO is one read loop's recvmmsg state: parallel slot arrays
+// sized to the batch, allocated once per reader. bufs holds the pooled
+// buffer armed in each slot; a slot whose buffer moved into a batch is
+// nil until re-armed.
+type ingressIO struct {
+	bufs  [][]byte
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrInet6
+	n     int
+	err   syscall.Errno
+}
+
+func newIngressIO(batch int) *ingressIO {
+	ing := &ingressIO{
+		bufs:  make([][]byte, batch),
+		hdrs:  make([]mmsghdr, batch),
+		iovs:  make([]syscall.Iovec, batch),
+		names: make([]syscall.RawSockaddrInet6, batch),
+	}
+	for i := range ing.hdrs {
+		h := &ing.hdrs[i].hdr
+		h.Name = (*byte)(unsafe.Pointer(&ing.names[i]))
+		h.Iov = &ing.iovs[i]
+		h.Iovlen = 1
+	}
+	return ing
+}
+
+// arm points slot i at buf for the next receive.
+func (ing *ingressIO) arm(i int, buf []byte) {
+	ing.bufs[i] = buf
+	ing.iovs[i].Base = unsafe.SliceData(buf)
+	ing.iovs[i].SetLen(len(buf))
+}
+
+// read is the syscall.RawConn.Read callback: one recvmmsg attempt.
+// Returning false parks the goroutine on the runtime poller until the
+// socket is readable again (or the read deadline fires).
+func (ing *ingressIO) read(fd uintptr) bool {
+	for {
+		n, errno := recvmmsg(fd, ing.hdrs)
+		switch errno {
+		case 0:
+			ing.n, ing.err = n, 0
+			return true
+		case syscall.EINTR:
+			// retry immediately; the socket may already hold packets
+		case syscall.EAGAIN:
+			return false
+		default:
+			ing.n, ing.err = 0, errno
+			return true
+		}
+	}
+}
+
+// serveUDPBatched is the batched ingress loop for one sharded socket:
+// up to batch datagrams per recvmmsg, each landing directly in a
+// pooled buffer, the filled prefix handed to the worker pool as one
+// udpBatch. Kernel out-params (Namelen, Flags) are re-armed on every
+// iteration because recvmmsg overwrites them per message.
+func (s *Server) serveUDPBatched(sh *socketShard, batch int) {
+	defer s.wg.Done()
+	defer s.readers.Done() // last reader out closes the queue
+	ing := newIngressIO(batch)
+	readFn := ing.read // bound once: a per-iteration method value allocates
+	release := func() {
+		for i := range ing.bufs {
+			if ing.bufs[i] != nil {
+				dnswire.PutBuffer(ing.bufs[i])
+				ing.bufs[i] = nil
+			}
+		}
+	}
+	for {
+		for i := 0; i < batch; i++ {
+			if ing.bufs[i] == nil {
+				ing.arm(i, dnswire.GetBuffer())
+			}
+			ing.hdrs[i].hdr.Namelen = syscall.SizeofSockaddrInet6
+			ing.hdrs[i].hdr.Flags = 0
+		}
+		if err := sh.rc.Read(readFn); err != nil || ing.err != 0 {
+			release()
+			return // closed, draining (deadline), or socket error
+		}
+		n := ing.n
+		if n == 0 {
+			continue
+		}
+		sh.packets.Add(uint64(n))
+		sh.batches.Inc()
+		b := getBatch(sh)
+		for i := 0; i < n; i++ {
+			b.bufs[i] = ing.bufs[i][:int(ing.hdrs[i].n)]
+			b.addrs[i] = sockaddrToAddrPort(&ing.names[i])
+			ing.bufs[i] = nil
+		}
+		b.n = n
+		if !s.dispatch(b) {
+			release()
+			return // draining
+		}
+	}
+}
+
+// egressIO is one worker's sendmmsg state: slot arrays grown to the
+// largest flush seen, rebuilt from w.out on every flush.
+type egressIO struct {
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrInet6
+	off   int // first unsent slot
+	end   int
+	errs  int
+	fn    func(uintptr) bool
+}
+
+func (e *egressIO) ensure(n int) {
+	if cap(e.hdrs) >= n {
+		e.hdrs = e.hdrs[:n]
+		e.iovs = e.iovs[:n]
+		e.names = e.names[:n]
+		return
+	}
+	e.hdrs = make([]mmsghdr, n)
+	e.iovs = make([]syscall.Iovec, n)
+	e.names = make([]syscall.RawSockaddrInet6, n)
+}
+
+// setSlot points slot i at queued response p. Every pointer is rebound
+// per flush since ensure may have reallocated the arrays.
+func (e *egressIO) setSlot(i int, p *egressPkt) {
+	e.iovs[i].Base = unsafe.SliceData(p.buf)
+	e.iovs[i].SetLen(p.n)
+	h := &e.hdrs[i].hdr
+	h.Name = (*byte)(unsafe.Pointer(&e.names[i]))
+	h.Namelen = putSockaddr(&e.names[i], p.raddr)
+	h.Iov = &e.iovs[i]
+	h.Iovlen = 1
+	h.Flags = 0
+	e.hdrs[i].n = 0
+}
+
+// send is the syscall.RawConn.Write callback: sendmmsg until the whole
+// [off, end) window is out. A datagram the kernel refuses outright is
+// skipped and counted so one bad destination can't wedge the batch;
+// UDP clients retry.
+func (e *egressIO) send(fd uintptr) bool {
+	for e.off < e.end {
+		n, errno := sendmmsg(fd, e.hdrs[e.off:e.end])
+		switch errno {
+		case 0:
+			e.off += n
+		case syscall.EINTR:
+			// retry
+		case syscall.EAGAIN:
+			return false
+		default:
+			e.errs++
+			e.off++
+		}
+	}
+	return true
+}
+
+// sendBatch flushes the worker's queued responses with sendmmsg,
+// falling back to the per-packet loop on architectures without a wired
+// syscall number.
+func (w *udpWriter) sendBatch() {
+	if sendmmsgTrap == 0 {
+		w.sendLoop()
+		return
+	}
+	e := &w.eio
+	n := len(w.out)
+	e.ensure(n)
+	for i := range w.out {
+		e.setSlot(i, &w.out[i])
+	}
+	e.off, e.end, e.errs = 0, n, 0
+	if e.fn == nil {
+		e.fn = e.send // bound once per worker
+	}
+	if err := w.shard.rc.Write(e.fn); err != nil {
+		e.errs += e.end - e.off // deadline/close mid-flush: remainder unsent
+	}
+	if e.errs > 0 {
+		w.sendErrs.Add(uint64(e.errs))
+	}
+	for i := range w.out {
+		dnswire.PutBuffer(w.out[i].buf)
+	}
+}

@@ -1,0 +1,22 @@
+//go:build !linux
+
+package dnsserver
+
+// Non-Linux fallbacks: without recvmmsg/sendmmsg the server always
+// runs the single-datagram ingress loop and the per-packet egress
+// loop. The worker path is identical — batches just hold one packet.
+
+const (
+	batchingSupported = false
+	defaultBatch      = 1
+)
+
+// egressIO carries no state on the unbatched path.
+type egressIO struct{}
+
+// sendBatch degrades to one sendto per queued response.
+func (w *udpWriter) sendBatch() { w.sendLoop() }
+
+// serveUDPBatched never runs here (batchSize collapses to 1), but the
+// symbol must exist for Start; degrade to the single-datagram loop.
+func (s *Server) serveUDPBatched(sh *socketShard, batch int) { s.serveUDPSingle(sh) }

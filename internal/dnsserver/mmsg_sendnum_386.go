@@ -1,0 +1,6 @@
+//go:build linux && 386
+
+package dnsserver
+
+// sendmmsg's dedicated i386 syscall number (Linux 3.0+).
+const sendmmsgTrap uintptr = 345

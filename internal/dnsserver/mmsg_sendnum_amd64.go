@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package dnsserver
+
+// sendmmsg's syscall number; package syscall predates the call and
+// never got the constant, so it is pinned per-arch here.
+const sendmmsgTrap uintptr = 307

@@ -1,0 +1,6 @@
+//go:build linux && arm
+
+package dnsserver
+
+// sendmmsg on the arm EABI syscall table.
+const sendmmsgTrap uintptr = 374

@@ -1,0 +1,6 @@
+//go:build linux && (arm64 || riscv64 || loong64)
+
+package dnsserver
+
+// sendmmsg on the asm-generic syscall table (arm64, riscv64, loong64).
+const sendmmsgTrap uintptr = 269

@@ -1,0 +1,9 @@
+//go:build linux && !amd64 && !arm64 && !riscv64 && !loong64 && !386 && !arm
+
+package dnsserver
+
+// Architectures whose sendmmsg number isn't pinned: 0 means "not
+// wired up", and egress degrades to the per-packet sendto loop.
+// recvmmsg batching still applies — its number is in package syscall
+// everywhere.
+const sendmmsgTrap uintptr = 0

@@ -1,0 +1,98 @@
+//go:build pooldebug
+
+package dnsserver
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/vclock"
+)
+
+// TestServePathPoolBalance is the pool-leak regression test: drive
+// every UDP serve path that touches pooled buffers — misses, wire
+// fast-path hits (ownership transfer through WriteWireOwned),
+// EDNS decode-path hits, and clone-truncated oversized responses —
+// then shut the server down and require every checked-out buffer to be
+// back in the pool. A positive delta is a leak on some exit path.
+func TestServePathPoolBalance(t *testing.T) {
+	zone := NewZone("bal.test.")
+	if err := zone.AddA("www.bal.test.", 300, netip.MustParseAddr("192.0.2.5")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ { // big.bal.test. packs past 512 bytes → truncation path
+		if err := zone.AddA("big.bal.test.", 300, netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache := NewCache(vclock.NewReal())
+	srv := &Server{
+		Addr:       "127.0.0.1:0",
+		Handler:    Chain(cache, NewZonePlugin(zone)),
+		Workers:    2,
+		QueueDepth: 64,
+	}
+
+	base := dnswire.PoolOutstanding()
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("udp", srv.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 4096)
+	ask := func(name string, id uint16, edns bool) {
+		t.Helper()
+		q := new(dnswire.Message)
+		q.SetQuestion(name, dnswire.TypeA)
+		q.ID = id
+		if edns {
+			q.SetEDNS(1232)
+		}
+		wire, err := q.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(wire); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := conn.Read(buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	for i := 0; i < 8; i++ {
+		ask("www.bal.test.", uint16(1+i), false)   // miss then wire fast-path hits
+		ask("www.bal.test.", uint16(100+i), true)  // EDNS → decode-path hits
+		ask("big.bal.test.", uint16(200+i), false) // clone-truncate path every time
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Fatalf("expected wire-path hits, got %+v", st)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reader goroutines release their armed ingress buffers as they
+	// unwind, possibly a beat after Shutdown returns.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if dnswire.PoolOutstanding() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%d pooled buffers still checked out after shutdown (baseline %d)",
+		dnswire.PoolOutstanding(), base)
+}

@@ -289,6 +289,7 @@ func TestUDPQueueOverflowSheds(t *testing.T) {
 		Handler:    Chain(&slowPlugin{delay: 100 * time.Millisecond}, NewZonePlugin(z)),
 		Workers:    1,
 		QueueDepth: 1,
+		Batch:      1, // unbatched: recvmmsg would coalesce the burst into one queue slot
 		Shed:       shed,
 	}
 	if err := srv.Start(); err != nil {

@@ -34,6 +34,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/meccdn/meccdn/internal/dnswire"
@@ -77,6 +78,20 @@ type WireWriter interface {
 	// WriteWire transmits a packed response verbatim. The writer must
 	// not retain wire after returning; callers typically recycle it.
 	WriteWire(wire []byte) error
+}
+
+// OwnedWireWriter is an optional WireWriter extension for writers that
+// can take ownership of a dnswire pooled buffer instead of copying out
+// of it. The cache's hit path patches the stored wire image inside a
+// pooled buffer anyway; handing that buffer over saves the last copy
+// between the cache and the socket. The writer becomes responsible for
+// returning buf to the pool.
+type OwnedWireWriter interface {
+	WireWriter
+	// WriteWireOwned transmits buf[:n], a pooled buffer from
+	// dnswire.GetBuffer whose ownership transfers to the writer —
+	// even on error.
+	WriteWireOwned(buf []byte, n int) error
 }
 
 // Handler answers DNS requests. If no response was written, the
@@ -236,10 +251,20 @@ type Server struct {
 	// them under a SYN-rate attack is not.
 	MaxConns int
 	// QueueDepth is the capacity of the UDP ingress queue between the
-	// read loop and the workers. Zero means 4× the worker count.
-	// Packets arriving with the queue full are dropped and counted in
-	// meccdn_dns_udp_dropped_total rather than queued without bound.
+	// read loops and the workers, measured in batches (a batch holds
+	// 1..Batch datagrams). Zero means 4× the worker count. Batches
+	// arriving with the queue full are dropped whole and counted, per
+	// datagram, in meccdn_dns_udp_dropped_total rather than queued
+	// without bound.
 	QueueDepth int
+	// Batch is the maximum number of datagrams moved per syscall on
+	// the UDP ingress and egress paths. On Linux each read loop fills
+	// up to Batch pooled buffers per recvmmsg and workers flush their
+	// responses with one sendmmsg per batch, back out the socket the
+	// queries arrived on. 0 means 32 on Linux; 1 disables batching
+	// (one recvfrom/sendto per datagram); values above 64 are capped.
+	// Platforms without the batched syscalls always behave as 1.
+	Batch int
 	// Shed, when non-nil, has queue-overflow drops recorded on its
 	// shed counter too, so admission-control drops and ingress drops
 	// surface in one meccdn_dns_loadshed_shed_total family.
@@ -247,6 +272,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	udps     []*net.UDPConn
+	shards   []*socketShard
 	tcp      net.Listener
 	conns    map[net.Conn]struct{}
 	started  bool
@@ -255,21 +281,90 @@ type Server struct {
 	readers  sync.WaitGroup
 	inflight sync.WaitGroup
 
-	queue       chan udpPacket
-	busy        atomic.Int64
-	dropped     atomic.Uint64
+	queue       chan *udpBatch
+	ctr         serveCounters
 	tcpRejected atomic.Uint64
 }
 
-// udpPacket is one raw datagram handed from the read loop to a worker.
-// buf is a pooled buffer sliced to the datagram; the worker returns it
-// to the pool once the response has been written. conn is the sharded
-// socket the datagram arrived on — the response goes back out the same
-// socket, so the kernel-side send lock stays sharded too.
-type udpPacket struct {
-	buf   []byte
-	raddr netip.AddrPort
-	conn  *net.UDPConn
+// serveCounters are the serve loop's per-packet counters. Every one
+// of them is touched for every datagram (or batch), so none may be a
+// single atomic word all cores bounce between their caches: each is
+// sharded into cache-line-padded cells, one per reader socket or per
+// worker, and summed only at scrape time.
+type serveCounters struct {
+	// Per reader-socket cells.
+	packets *telemetry.ShardedCounter // datagrams accepted off the sockets
+	batches *telemetry.ShardedCounter // read wakeups that yielded >= 1 datagram
+	dropped *telemetry.ShardedCounter // datagrams shed on queue overflow
+	// Per worker cells.
+	served   *telemetry.ShardedCounter // datagrams fully served
+	sendErrs *telemetry.ShardedCounter // response transmissions that failed
+	busy     *telemetry.ShardedGauge   // workers currently serving a batch
+}
+
+func newServeCounters(sockets, workers int) serveCounters {
+	return serveCounters{
+		packets:  telemetry.NewShardedCounter("meccdn_dns_udp_packets_total", "", sockets),
+		batches:  telemetry.NewShardedCounter("meccdn_dns_udp_batches_total", "", sockets),
+		dropped:  telemetry.NewShardedCounter("meccdn_dns_udp_dropped_total", "", sockets),
+		served:   telemetry.NewShardedCounter("meccdn_dns_udp_served_total", "", workers),
+		sendErrs: telemetry.NewShardedCounter("meccdn_dns_udp_send_errors_total", "", workers),
+		busy:     telemetry.NewShardedGauge("meccdn_dns_udp_workers_busy", "", workers),
+	}
+}
+
+// socketShard is one UDP ingress socket plus its reader-owned state:
+// the raw descriptor access for batched syscalls and this reader's
+// counter cells, cached so the loop never indexes a shard table per
+// packet.
+type socketShard struct {
+	conn    *net.UDPConn
+	rc      syscall.RawConn
+	packets *telemetry.CounterCell
+	batches *telemetry.CounterCell
+	dropped *telemetry.CounterCell
+}
+
+// maxBatch caps Server.Batch. 64 datagrams per syscall is past the
+// point of diminishing returns for DNS-sized packets, and the cap
+// keeps the per-batch slot arrays small enough to pool.
+const maxBatch = 64
+
+// udpBatch is one group of datagrams handed from a read loop to a
+// worker: up to Batch pooled buffers, each sliced to its datagram,
+// with their source addresses. All packets of a batch arrived on the
+// same socket, so the worker's response flush can go back out that
+// socket in one sendmmsg. Containers are pooled; a batch of one is
+// how the unbatched (non-Linux or Batch=1) ingress rides the same
+// worker code.
+type udpBatch struct {
+	shard *socketShard
+	n     int
+	bufs  [maxBatch][]byte
+	addrs [maxBatch]netip.AddrPort
+}
+
+var batchPool = sync.Pool{New: func() any { return new(udpBatch) }}
+
+func getBatch(sh *socketShard) *udpBatch {
+	b := batchPool.Get().(*udpBatch)
+	b.shard, b.n = sh, 0
+	return b
+}
+
+// releaseBatch returns every buffer the batch still owns, then the
+// container itself, to their pools. Consumers that have already
+// recycled a buffer nil its slot first, so each buffer goes back
+// exactly once no matter which path releases the batch.
+func releaseBatch(b *udpBatch) {
+	for i := 0; i < b.n; i++ {
+		if b.bufs[i] != nil {
+			dnswire.PutBuffer(b.bufs[i])
+			b.bufs[i] = nil
+		}
+	}
+	b.n, b.shard = 0, nil
+	batchPool.Put(b)
 }
 
 // workerCount resolves the configured worker-pool size.
@@ -299,23 +394,54 @@ func (s *Server) maxConns() int {
 
 // Collectors returns the server's serve-loop metric families for
 // registration on a telemetry.Registry: worker occupancy, ingress
-// queue depth, and the queue-overflow drop counter.
+// queue depth, batching tallies, and the drop counters. The sharded
+// serve counters behind them are built at Start, so every family reads
+// 0 before then — callers may register the collectors first (cmd/dnsd
+// does) and Start later.
 func (s *Server) Collectors() []telemetry.Collector {
+	sum := func(pick func(serveCounters) *telemetry.ShardedCounter) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			c := pick(s.ctr)
+			s.mu.Unlock()
+			if c == nil {
+				return 0
+			}
+			return float64(c.Value())
+		}
+	}
 	return []telemetry.Collector{
 		telemetry.NewGaugeFunc("meccdn_dns_udp_workers_busy",
-			"UDP worker goroutines currently serving a query.",
-			func() float64 { return float64(s.busy.Load()) }),
+			"UDP worker goroutines currently serving a batch.",
+			func() float64 {
+				s.mu.Lock()
+				g := s.ctr.busy
+				s.mu.Unlock()
+				if g == nil {
+					return 0
+				}
+				return float64(g.Value())
+			}),
 		telemetry.NewGaugeFunc("meccdn_dns_udp_queue_depth",
-			"Datagrams waiting in the UDP ingress queue.",
+			"Batches waiting in the UDP ingress queue.",
 			func() float64 {
 				s.mu.Lock()
 				q := s.queue
 				s.mu.Unlock()
 				return float64(len(q))
 			}),
+		telemetry.NewCounterFunc("meccdn_dns_udp_packets_total",
+			"Datagrams accepted off the UDP ingress sockets.",
+			sum(func(c serveCounters) *telemetry.ShardedCounter { return c.packets })),
+		telemetry.NewCounterFunc("meccdn_dns_udp_batches_total",
+			"Read-loop wakeups that yielded at least one datagram; packets_total over batches_total is the achieved batching factor.",
+			sum(func(c serveCounters) *telemetry.ShardedCounter { return c.batches })),
 		telemetry.NewCounterFunc("meccdn_dns_udp_dropped_total",
 			"Datagrams dropped because the UDP ingress queue was full.",
-			func() float64 { return float64(s.dropped.Load()) }),
+			sum(func(c serveCounters) *telemetry.ShardedCounter { return c.dropped })),
+		telemetry.NewCounterFunc("meccdn_dns_udp_send_errors_total",
+			"UDP response transmissions that failed at the socket.",
+			sum(func(c serveCounters) *telemetry.ShardedCounter { return c.sendErrs })),
 		telemetry.NewGaugeFunc("meccdn_dns_udp_sockets",
 			"UDP ingress sockets sharing the listen address via SO_REUSEPORT.",
 			func() float64 { return float64(s.NumSockets()) }),
@@ -341,7 +467,61 @@ func (s *Server) IngressLoad() float64 {
 
 // DroppedPackets returns the number of datagrams shed on queue
 // overflow since Start.
-func (s *Server) DroppedPackets() uint64 { return s.dropped.Load() }
+func (s *Server) DroppedPackets() uint64 {
+	s.mu.Lock()
+	c := s.ctr.dropped
+	s.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Value()
+}
+
+// BatchStats returns the ingress batching tallies since Start: packets
+// is the number of datagrams accepted off the sockets, batches the
+// number of read wakeups that produced them. packets over batches is
+// the achieved batching factor — 1.0 on the unbatched path, up to
+// Batch under load on Linux.
+func (s *Server) BatchStats() (packets, batches uint64) {
+	s.mu.Lock()
+	p, b := s.ctr.packets, s.ctr.batches
+	s.mu.Unlock()
+	if p == nil || b == nil {
+		return 0, 0
+	}
+	return p.Value(), b.Value()
+}
+
+// ServedPackets returns the number of datagrams fully served (response
+// flushed) by the worker pool since Start, summed over the per-worker
+// counter cells.
+func (s *Server) ServedPackets() uint64 {
+	s.mu.Lock()
+	c := s.ctr.served
+	s.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Value()
+}
+
+// batchSize resolves the configured Batch against platform support.
+func (s *Server) batchSize() int {
+	if !batchingSupported {
+		return 1
+	}
+	b := s.Batch
+	if b == 0 {
+		b = defaultBatch
+	}
+	if b < 1 {
+		b = 1
+	}
+	if b > maxBatch {
+		b = maxBatch
+	}
+	return b
+}
 
 // RejectedConns returns the number of TCP connections refused at the
 // MaxConns cap since Start.
@@ -386,15 +566,39 @@ func (s *Server) Start() error {
 	if depth <= 0 {
 		depth = 4 * workers
 	}
-	s.queue = make(chan udpPacket, depth)
+	s.queue = make(chan *udpBatch, depth)
+	s.ctr = newServeCounters(len(udps), workers)
+	batch := s.batchSize()
+	s.shards = make([]*socketShard, len(udps))
+	for i, conn := range udps {
+		sh := &socketShard{
+			conn:    conn,
+			packets: s.ctr.packets.Shard(i),
+			batches: s.ctr.batches.Shard(i),
+			dropped: s.ctr.dropped.Shard(i),
+		}
+		if batch > 1 {
+			rc, err := conn.SyscallConn()
+			if err != nil {
+				batch = 1 // no raw descriptor access; serve unbatched
+			} else {
+				sh.rc = rc
+			}
+		}
+		s.shards[i] = sh
+	}
 	s.started = true
 	s.readers.Add(len(udps))
 	s.wg.Add(2 + len(udps) + workers)
 	for i := 0; i < workers; i++ {
-		go s.udpWorker()
+		go s.udpWorker(i)
 	}
-	for _, conn := range udps {
-		go s.serveUDP(conn)
+	for _, sh := range s.shards {
+		if batch > 1 {
+			go s.serveUDPBatched(sh, batch)
+		} else {
+			go s.serveUDPSingle(sh)
+		}
 	}
 	// The queue closes once every sharded read loop has exited, so the
 	// workers drain whatever any socket accepted, then stop.
@@ -577,61 +781,117 @@ func (s *Server) begin(ctx context.Context, req *Request) (context.Context, *tel
 	return telemetry.ContextWith(ctx, sp), sp
 }
 
-// serveUDP is the ingress loop for one sharded socket: it reads
-// datagrams into pooled buffers and hands them to the shared worker
-// pool. With Sockets > 1 several of these run concurrently, one per
-// SO_REUSEPORT socket, so ingress scales with cores instead of
-// serializing on a single reader. Enqueueing happens after track()
-// so a graceful Shutdown waits for packets already accepted into the
-// queue, not just those a worker has picked up. On queue overflow the
-// packet is shed immediately — bounded delay beats unbounded backlog
-// for a protocol whose clients retry.
-func (s *Server) serveUDP(conn *net.UDPConn) {
+// trackN registers n in-flight queries at once, refusing once a drain
+// has begun — the same mutex-ordering contract as track(), paid once
+// per batch instead of once per packet.
+func (s *Server) trackN(n int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(n)
+	return true
+}
+
+// dispatch hands a filled batch to the worker pool, consuming it
+// either way. It returns false when the server is draining and the
+// read loop should exit. Dispatch happens after trackN so a graceful
+// Shutdown waits for packets already accepted into the queue, not just
+// those a worker has picked up. On queue overflow the whole batch is
+// shed immediately — bounded delay beats unbounded backlog for a
+// protocol whose clients retry.
+func (s *Server) dispatch(b *udpBatch) bool {
+	n := b.n
+	if !s.trackN(n) {
+		releaseBatch(b)
+		return false
+	}
+	select {
+	case s.queue <- b:
+	default:
+		b.shard.dropped.Add(uint64(n))
+		if s.Shed != nil {
+			s.Shed.RecordShedN(uint64(n))
+		}
+		s.inflight.Add(-n)
+		releaseBatch(b)
+	}
+	return true
+}
+
+// serveUDPSingle is the unbatched ingress loop for one sharded socket:
+// one recvfrom per datagram, each wrapped in a batch of one so the
+// worker path is identical to the batched ingress. It serves
+// Batch <= 1 and every platform without recvmmsg. With Sockets > 1
+// several of these run concurrently, one per SO_REUSEPORT socket, so
+// ingress scales with cores instead of serializing on a single reader.
+func (s *Server) serveUDPSingle(sh *socketShard) {
 	defer s.wg.Done()
 	defer s.readers.Done() // last reader out closes the queue
 	for {
 		buf := dnswire.GetBuffer()
-		n, raddr, err := conn.ReadFromUDPAddrPort(buf)
+		n, raddr, err := sh.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			dnswire.PutBuffer(buf)
 			return // closed or draining
 		}
-		if !s.track() {
-			dnswire.PutBuffer(buf)
-			return // draining: stop accepting
-		}
-		select {
-		case s.queue <- udpPacket{buf: buf[:n], raddr: raddr, conn: conn}:
-		default:
-			s.dropped.Add(1)
-			if s.Shed != nil {
-				s.Shed.RecordShed()
-			}
-			dnswire.PutBuffer(buf)
-			s.inflight.Done()
+		sh.packets.Inc()
+		sh.batches.Inc()
+		b := getBatch(sh)
+		b.bufs[0], b.addrs[0], b.n = buf[:n], raddr, 1
+		if !s.dispatch(b) {
+			return
 		}
 	}
 }
 
-// udpWorker serves packets from the ingress queue until it is closed
-// and drained. The response writer is reused across packets, so the
-// steady-state serve path allocates nothing for plumbing.
-func (s *Server) udpWorker() {
+// udpServeState is one worker's reusable serve machinery: the batched
+// response writer, the scratch request message, and the qname intern
+// table. All of it is reused across packets, so the steady-state serve
+// path allocates nothing for plumbing or parsing.
+type udpServeState struct {
+	w      udpWriter
+	msg    dnswire.Message
+	req    Request
+	intern *dnswire.NameIntern
+}
+
+// udpWorker serves batches from the ingress queue until it is closed
+// and drained. id selects this worker's cache-line-padded counter
+// cells, so nothing on the per-packet path contends with another
+// worker's counters. Each packet's pooled buffer goes back to the pool
+// as soon as it is parsed and served; the batch container (and any
+// buffers an early exit leaves behind) is released after the flush.
+func (s *Server) udpWorker(id int) {
 	defer s.wg.Done()
-	w := new(udpWriter)
-	for pkt := range s.queue {
-		s.busy.Add(1)
-		s.handlePacket(w, pkt)
-		s.busy.Add(-1)
-		dnswire.PutBuffer(pkt.buf)
-		s.inflight.Done()
+	st := &udpServeState{intern: dnswire.NewNameIntern(0)}
+	busy := s.ctr.busy.Shard(id)
+	served := s.ctr.served.Shard(id)
+	st.w.sendErrs = s.ctr.sendErrs.Shard(id)
+	for b := range s.queue {
+		busy.Set(1)
+		st.w.begin(b.shard)
+		for i := 0; i < b.n; i++ {
+			s.handlePacket(st, b.bufs[i], b.addrs[i])
+			dnswire.PutBuffer(b.bufs[i])
+			b.bufs[i] = nil
+		}
+		st.w.flush()
+		served.Add(uint64(b.n))
+		busy.Set(0)
+		s.inflight.Add(-b.n)
+		releaseBatch(b)
 	}
 }
 
-func (s *Server) handlePacket(w *udpWriter, p udpPacket) {
-	pkt, raddr := p.buf, p.raddr
-	msg := new(dnswire.Message)
-	if err := msg.Unpack(pkt); err != nil {
+// handlePacket parses and serves one datagram through the worker's
+// reused state. The scratch message is overwritten by the next packet,
+// so handlers must not retain it past ServeDNS — the same contract the
+// wire buffers already carry.
+func (s *Server) handlePacket(st *udpServeState, pkt []byte, raddr netip.AddrPort) {
+	msg := &st.msg
+	if err := msg.UnpackQuery(pkt, st.intern); err != nil {
 		return // not DNS; drop like a real server
 	}
 	// Honour the client's advertised payload size.
@@ -641,27 +901,55 @@ func (s *Server) handlePacket(w *udpWriter, p udpPacket) {
 			size = adv
 		}
 	}
-	w.reset(p.conn, raddr, size)
-	req := &Request{Msg: msg, Client: raddr, Transport: "udp"}
-	ctx, sp := s.begin(context.Background(), req)
-	rcode := ResolveTo(ctx, s.Handler, w, req)
+	st.w.beginPacket(raddr, size)
+	st.req = Request{Msg: msg, Client: raddr, Transport: "udp"}
+	ctx, sp := s.begin(context.Background(), &st.req)
+	rcode := ResolveTo(ctx, s.Handler, &st.w, &st.req)
 	s.Telemetry.Finish(sp, rcode.String())
 }
 
-// udpWriter writes responses for one UDP query; each worker owns one
-// and resets it per packet. Responses leave on the sharded socket the
-// query arrived on. It implements WireWriter so cache hits reach the
-// socket as patched wire bytes, and responseTracker so the engine
-// needs no recorder around it.
-type udpWriter struct {
-	conn  *net.UDPConn
+// egressPkt is one packed response waiting in a worker's egress batch:
+// a pooled buffer the writer owns, the packed length, and where it
+// goes.
+type egressPkt struct {
+	buf   []byte
+	n     int
 	raddr netip.AddrPort
-	size  int
-	wrote bool
 }
 
-func (w *udpWriter) reset(conn *net.UDPConn, raddr netip.AddrPort, size int) {
-	w.conn, w.raddr, w.size, w.wrote = conn, raddr, size, false
+// udpWriter writes responses for one batch of UDP queries; each worker
+// owns one. Instead of one sendto per response, completed responses
+// accumulate in out (each in a pooled buffer the writer owns) and
+// leave in one sendmmsg per batch when the worker flushes — back out
+// the sharded socket the queries arrived on. It implements WireWriter
+// so cache hits reach the socket as patched wire bytes, OwnedWireWriter
+// so the cache's patch buffer is handed over instead of copied, and
+// responseTracker so the engine needs no recorder around it.
+type udpWriter struct {
+	shard    *socketShard
+	raddr    netip.AddrPort
+	size     int
+	wrote    bool
+	out      []egressPkt
+	sendErrs *telemetry.CounterCell
+	eio      egressIO
+}
+
+// begin starts a new batch: responses will leave on sh's socket.
+func (w *udpWriter) begin(sh *socketShard) {
+	w.shard = sh
+	w.out = w.out[:0]
+}
+
+// beginPacket starts the next query of the batch.
+func (w *udpWriter) beginPacket(raddr netip.AddrPort, size int) {
+	w.raddr, w.size, w.wrote = raddr, size, false
+}
+
+// stash queues one packed response, taking ownership of its buffer.
+func (w *udpWriter) stash(buf []byte, n int) {
+	w.out = append(w.out, egressPkt{buf: buf, n: n, raddr: w.raddr})
+	w.wrote = true
 }
 
 // Written implements responseTracker.
@@ -670,7 +958,8 @@ func (w *udpWriter) Written() bool { return w.wrote }
 // WireSize implements WireWriter.
 func (w *udpWriter) WireSize() int { return w.size }
 
-// WriteWire implements WireWriter.
+// WriteWire implements WireWriter: the response is copied into a
+// pooled buffer the writer owns and queued for the batch flush.
 func (w *udpWriter) WriteWire(wire []byte) error {
 	if w.wrote {
 		return nil
@@ -678,34 +967,85 @@ func (w *udpWriter) WriteWire(wire []byte) error {
 	if len(wire) > w.size {
 		return fmt.Errorf("dnsserver: %d-byte wire response exceeds %d-byte payload limit", len(wire), w.size)
 	}
-	if _, err := w.conn.WriteToUDPAddrPort(wire, w.raddr); err != nil {
-		return err
-	}
-	w.wrote = true
+	buf := dnswire.GetBuffer()
+	n := copy(buf, wire)
+	w.stash(buf, n)
 	return nil
 }
 
-// WriteMsg implements ResponseWriter: pack into a pooled buffer,
-// truncate to the advertised payload size, send. Only the first write
-// is passed through, matching recorder semantics.
+// WriteWireOwned implements OwnedWireWriter: like WriteWire, but buf
+// is a pooled buffer whose ownership transfers to the writer, so the
+// cache's patched hit needs no extra copy on its way to the socket.
+func (w *udpWriter) WriteWireOwned(buf []byte, n int) error {
+	if w.wrote || n > w.size {
+		dnswire.PutBuffer(buf)
+		if w.wrote {
+			return nil
+		}
+		return fmt.Errorf("dnsserver: %d-byte wire response exceeds %d-byte payload limit", n, w.size)
+	}
+	w.stash(buf, n)
+	return nil
+}
+
+// WriteMsg implements ResponseWriter: pack into a pooled buffer and
+// queue for the batch flush. A response larger than the client's
+// advertised payload size is truncated with TC set — on a clone, so
+// a message a handler may share (the cache's coalesced fills) is
+// never mutated here. Only the first write per query is passed
+// through, matching recorder semantics.
 func (w *udpWriter) WriteMsg(m *dnswire.Message) error {
 	if w.wrote {
 		return nil
 	}
-	m.TruncateTo(w.size)
 	buf := dnswire.GetBuffer()
 	wire, err := m.AppendPack(buf[:0])
-	if err != nil {
-		dnswire.PutBuffer(buf)
-		return err
+	if err != nil || len(wire) > w.size {
+		if err == nil {
+			t := m.Clone()
+			t.TruncateTo(w.size)
+			wire, err = t.AppendPack(buf[:0])
+		}
+		if err != nil {
+			dnswire.PutBuffer(buf)
+			return err
+		}
 	}
-	_, err = w.conn.WriteToUDPAddrPort(wire, w.raddr)
-	dnswire.PutBuffer(buf)
-	if err != nil {
-		return err
-	}
-	w.wrote = true
+	w.stash(buf, len(wire))
 	return nil
+}
+
+// flush transmits every queued response of the batch and recycles the
+// buffers. A batch of one goes out as a plain sendto; failures count
+// on the worker's send-error cell (UDP gives the client its retry
+// either way).
+func (w *udpWriter) flush() {
+	switch len(w.out) {
+	case 0:
+		return
+	case 1:
+		p := &w.out[0]
+		if _, err := w.shard.conn.WriteToUDPAddrPort(p.buf[:p.n], p.raddr); err != nil {
+			w.sendErrs.Inc()
+		}
+		dnswire.PutBuffer(p.buf)
+	default:
+		w.sendBatch()
+	}
+	w.out = w.out[:0]
+}
+
+// sendLoop is the portable egress fallback: one sendto per queued
+// response. It backs flush on platforms without sendmmsg and on Linux
+// architectures whose sendmmsg syscall number isn't wired up.
+func (w *udpWriter) sendLoop() {
+	for i := range w.out {
+		p := &w.out[i]
+		if _, err := w.shard.conn.WriteToUDPAddrPort(p.buf[:p.n], p.raddr); err != nil {
+			w.sendErrs.Inc()
+		}
+		dnswire.PutBuffer(p.buf)
+	}
 }
 
 func (s *Server) serveTCP() {

@@ -1,0 +1,76 @@
+//go:build pooldebug
+
+package dnswire
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+)
+
+// The pooldebug build tag arms an ownership checker around the packet
+// buffer pool. Batch ingress recycles buffers through fixed slot
+// arrays, and the failure mode of a slot-bookkeeping bug is silent: a
+// double PutBuffer puts the same backing array into the pool twice,
+// two workers then "own" it at once, and one query's response is
+// overwritten by another's. Under this tag every Get/Put is recorded
+// per backing array, a second Put panics at the offending call site,
+// and the head of every returned buffer is poisoned so a use-after-put
+// serves garbage that fails loudly in tests instead of a stale,
+// plausible response.
+//
+// The checker takes a global lock per Get/Put; it is for tests only.
+
+const poisonLen = 512 // covers any non-EDNS DNS response head
+
+var poolDebug struct {
+	mu sync.Mutex
+	// out maps each buffer's backing array to whether it is currently
+	// checked out of the pool.
+	out map[*byte]bool
+}
+
+func poolTrackGet(b []byte) {
+	k := unsafe.SliceData(b)
+	poolDebug.mu.Lock()
+	defer poolDebug.mu.Unlock()
+	if poolDebug.out == nil {
+		poolDebug.out = make(map[*byte]bool)
+	}
+	if poolDebug.out[k] {
+		panic(fmt.Sprintf("dnswire: pool handed out buffer %p twice (double PutBuffer earlier?)", k))
+	}
+	poolDebug.out[k] = true
+}
+
+func poolTrackPut(b []byte) {
+	k := unsafe.SliceData(b)
+	poolDebug.mu.Lock()
+	defer poolDebug.mu.Unlock()
+	if poolDebug.out == nil {
+		poolDebug.out = make(map[*byte]bool)
+	}
+	if out, seen := poolDebug.out[k]; seen && !out {
+		panic(fmt.Sprintf("dnswire: double PutBuffer of %p", k))
+	}
+	poolDebug.out[k] = false
+	for i := 0; i < poisonLen && i < len(b); i++ {
+		b[i] = 0xDE
+	}
+}
+
+// PoolOutstanding returns how many pooled buffers are currently
+// checked out (Gets without a matching Put). Pool-balance regression
+// tests snapshot it before and after driving a server: any positive
+// delta once the server has quiesced is a leaked buffer.
+func PoolOutstanding() int {
+	poolDebug.mu.Lock()
+	defer poolDebug.mu.Unlock()
+	n := 0
+	for _, out := range poolDebug.out {
+		if out {
+			n++
+		}
+	}
+	return n
+}

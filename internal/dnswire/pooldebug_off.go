@@ -1,0 +1,11 @@
+//go:build !pooldebug
+
+package dnswire
+
+// In the default build the pool ownership hooks compile to nothing;
+// GetBuffer/PutBuffer stay a pure sync.Pool cycle. Build (or test)
+// with -tags pooldebug to turn on the ownership checker in
+// pooldebug.go.
+
+func poolTrackGet([]byte) {}
+func poolTrackPut([]byte) {}

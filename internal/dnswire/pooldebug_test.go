@@ -1,0 +1,52 @@
+//go:build pooldebug
+
+package dnswire
+
+import "testing"
+
+// TestDoublePutBufferPanics pins the pooldebug contract: returning the
+// same buffer twice must panic at the second Put, not silently hand
+// two future callers the same backing array.
+func TestDoublePutBufferPanics(t *testing.T) {
+	b := GetBuffer()
+	PutBuffer(b)
+	defer func() {
+		if recover() == nil {
+			t.Error("second PutBuffer of the same buffer did not panic")
+		}
+		// The panic left the buffer marked as returned; a fresh
+		// Get/Put cycle must still work.
+		PutBuffer(GetBuffer())
+	}()
+	PutBuffer(b)
+}
+
+// TestPutBufferPoisonsHead verifies a use-after-put reads poison, not
+// a stale-but-plausible response image.
+func TestPutBufferPoisonsHead(t *testing.T) {
+	b := GetBuffer()
+	for i := 0; i < poisonLen; i++ {
+		b[i] = 0xAA
+	}
+	PutBuffer(b)
+	for i := 0; i < poisonLen; i++ {
+		if b[i] != 0xDE {
+			t.Fatalf("byte %d = %#x after PutBuffer, want poison 0xDE", i, b[i])
+		}
+	}
+}
+
+// TestPoolOutstandingTracksCheckouts verifies the leak counter moves
+// with Get/Put so serve-path balance tests can trust it.
+func TestPoolOutstandingTracksCheckouts(t *testing.T) {
+	base := PoolOutstanding()
+	a, b := GetBuffer(), GetBuffer()
+	if got := PoolOutstanding(); got != base+2 {
+		t.Errorf("outstanding = %d after two Gets, want %d", got, base+2)
+	}
+	PutBuffer(a)
+	PutBuffer(b)
+	if got := PoolOutstanding(); got != base {
+		t.Errorf("outstanding = %d after matching Puts, want %d", got, base)
+	}
+}

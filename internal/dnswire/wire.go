@@ -15,8 +15,10 @@ import (
 // set of 4-byte TTL rewrites at offsets recorded once at insert time.
 
 // bufPool recycles MaxMessageSize packet buffers. Entries are stored
-// as *[]byte so a Get/Put cycle costs one small header allocation at
-// most, never a 64 KiB make.
+// as *[]byte; the headers themselves circulate through boxPool so a
+// steady-state Get/Put cycle allocates nothing at all — taking the
+// address of a local []byte in PutBuffer would otherwise heap-box a
+// fresh 24-byte header on every recycle, one allocation per packet.
 var bufPool = sync.Pool{
 	New: func() any {
 		b := make([]byte, MaxMessageSize)
@@ -24,23 +26,43 @@ var bufPool = sync.Pool{
 	},
 }
 
+// boxPool recycles the *[]byte headers bufPool entries travel in.
+// A header leaves boxPool emptied (nil slice) whenever its buffer is
+// checked out, so a pooled box never pins a buffer the caller owns.
+var boxPool = sync.Pool{}
+
 // GetBuffer returns a packet buffer of length MaxMessageSize from the
 // shared pool. Return it with PutBuffer when the packet has been
 // fully consumed; the contents are not zeroed between uses.
 func GetBuffer() []byte {
-	return *bufPool.Get().(*[]byte)
+	p := bufPool.Get().(*[]byte)
+	b := *p
+	*p = nil
+	boxPool.Put(p)
+	poolTrackGet(b)
+	return b
 }
 
 // PutBuffer recycles a buffer obtained from GetBuffer (or any slice
 // with at least MaxMessageSize capacity; smaller slices are dropped,
 // so callers may hand back foreign buffers safely). The caller must
-// not touch b afterwards.
+// not touch b afterwards. Returning the same buffer twice corrupts a
+// later response; build with -tags pooldebug to make that panic at
+// the second Put instead.
 func PutBuffer(b []byte) {
 	if cap(b) < MaxMessageSize {
 		return
 	}
 	b = b[:MaxMessageSize]
-	bufPool.Put(&b)
+	poolTrackPut(b)
+	var p *[]byte
+	if v := boxPool.Get(); v != nil {
+		p = v.(*[]byte)
+	} else {
+		p = new([]byte)
+	}
+	*p = b
+	bufPool.Put(p)
 }
 
 // skipName advances past one wire-format name without decoding it.

@@ -119,7 +119,7 @@ func (h *Hub) Finish(sp *Span, rcode string) {
 		h.ServeDuration.Observe(sp.Total())
 	}
 	if h.Path != nil {
-		h.Path.Inc(path)
+		h.Path.Inc1(path)
 	}
 	if h.Log != nil && sp.Sampled() {
 		h.Log.Add(RecordFromSpan(sp, rcode, path, time.Now()))

@@ -254,6 +254,26 @@ func (v *CounterVec) Inc(values ...string) { v.child(values).v.Add(1) }
 // Add increments the series for the given label values by n.
 func (v *CounterVec) Add(n uint64, values ...string) { v.child(values).v.Add(n) }
 
+// Inc1 is Inc for single-label families. The variadic Inc builds a
+// []string per call; on the per-packet path (queries by qtype,
+// responses by rcode) that is one heap allocation per packet, so the
+// serve loop uses this form, which looks the child up by the bare
+// value and allocates only on first use of a new series.
+func (v *CounterVec) Inc1(value string) { v.child1(value).v.Add(1) }
+
+// child1 is child for single-label families: the map key of a
+// one-element label set is the bare value (strings.Join of one
+// element), so the common lookup needs no slice and no join.
+func (v *CounterVec) child1(value string) *vecChild {
+	v.mu.RLock()
+	ch := v.children[value]
+	v.mu.RUnlock()
+	if ch != nil {
+		return ch
+	}
+	return v.child([]string{value})
+}
+
 // Value returns the count for the given label values (0 if the series
 // was never incremented).
 func (v *CounterVec) Value(values ...string) uint64 {
