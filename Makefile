@@ -10,8 +10,9 @@ all: vet test race build
 # platforms, so the build-tagged mmsg files are vetted for Linux and
 # for the portable fallback), a full build, the test suite under the
 # race detector, the pool-ownership checker over the packet-buffer
-# packages, and a serve-path benchmark smoke run that catches hit-path
-# regressions without waiting for a full bench sweep.
+# packages, a bounded differential-fuzz pass over the LPM lookup, and
+# a serve-path benchmark smoke run that catches hit-path regressions
+# without waiting for a full bench sweep.
 ci:
 	GOOS=linux $(GO) vet ./...
 	GOOS=darwin $(GO) vet ./...
@@ -19,7 +20,8 @@ ci:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -tags pooldebug ./internal/dnswire/ ./internal/dnsserver/
-	$(GO) test -run xxx -bench='ServeUDPHit|ServeUDPBatch|ServeUDPParallelSockets|RouterWithRegistry' -benchtime=100x -benchmem .
+	$(GO) test -run xxx -fuzz FuzzLPMLookup -fuzztime 5s ./internal/lpm/
+	$(GO) test -run xxx -bench='ServeUDPHit|ServeUDPBatch|ServeUDPParallelSockets|RouterWithRegistry|LPMLookup' -benchtime=100x -benchmem .
 
 build:
 	$(GO) build ./...
@@ -38,15 +40,14 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Archive the serve-path benchmarks as JSON: name, ns/op, allocs/op,
-# averaged over -count=5 runs. BENCH_pr6.json carries the hit-path
-# numbers after the batched recvmmsg/sendmmsg ingress (ServeUDPHit is
-# now allocation-free; ServeUDPBatch reports packets moved per
-# syscall), the multi-socket ingress numbers, and the PR-5 routing
-# comparison for continuity.
+# averaged over -count=5 runs. BENCH_pr7.json adds the subnet→PoP
+# LPM lookup at 10k/100k/1M rows (the tentpole gate: sub-µs and
+# allocation-free at a million routes) on top of the PR-6 hit-path,
+# batching, multi-socket, and routing numbers kept for continuity.
 bench-json:
-	$(GO) test -run xxx -bench='ServeUDPHit|ServeUDPBatch|DNSMessageCache$$|ServeUDPParallelSockets|RouterWithRegistry|RouterPolicyAvailability' -benchmem -count=5 . \
-		| tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_pr6.json
-	cat BENCH_pr6.json
+	$(GO) test -run xxx -bench='ServeUDPHit|ServeUDPBatch|DNSMessageCache$$|ServeUDPParallelSockets|RouterWithRegistry|RouterPolicyAvailability|LPMLookup' -benchmem -count=5 . \
+		| tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_pr7.json
+	cat BENCH_pr7.json
 
 # Regenerate every table and figure from the paper.
 experiments:

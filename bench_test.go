@@ -29,6 +29,7 @@ import (
 	"github.com/meccdn/meccdn/internal/experiments"
 	"github.com/meccdn/meccdn/internal/geoip"
 	"github.com/meccdn/meccdn/internal/health"
+	"github.com/meccdn/meccdn/internal/lpm"
 	"github.com/meccdn/meccdn/internal/lte"
 	"github.com/meccdn/meccdn/internal/simnet"
 	"github.com/meccdn/meccdn/internal/stats"
@@ -903,3 +904,69 @@ func BenchmarkMECCDNResolve(b *testing.B) {
 		}
 	}
 }
+
+// benchLPMTable builds a deterministic routing table of n routes
+// (3:1 IPv4:IPv6) plus a fixed probe set drawn from the same address
+// distribution.
+func benchLPMTable(b *testing.B, n int) (*lpm.Table, []netip.Addr) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	randV4 := func() netip.Addr {
+		var a [4]byte
+		rng.Read(a[:])
+		return netip.AddrFrom4(a)
+	}
+	randV6 := func() netip.Addr {
+		var a [16]byte
+		rng.Read(a[:])
+		a[0] = 0x20 // stay out of the 4-in-6 mapping space
+		return netip.AddrFrom16(a)
+	}
+	bld := lpm.NewBuilder()
+	for i := 0; i < n; i++ {
+		var p netip.Prefix
+		var err error
+		if i%4 == 3 {
+			p, err = randV6().Prefix(32 + rng.Intn(33))
+		} else {
+			p, err = randV4().Prefix(8 + rng.Intn(21))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bld.Add(p, lpm.PoP(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	table := bld.Build()
+	probes := make([]netip.Addr, 1024)
+	for i := range probes {
+		if i%4 == 3 {
+			probes[i] = randV6()
+		} else {
+			probes[i] = randV4()
+		}
+	}
+	return table, probes
+}
+
+var benchPoPSink lpm.PoP
+
+// benchmarkLPMLookup is the tentpole perf gate: Lookup must stay
+// sub-microsecond and allocation-free at a million routes.
+func benchmarkLPMLookup(b *testing.B, rows int) {
+	table, probes := benchLPMTable(b, rows)
+	b.ReportMetric(float64(table.Spans()), "spans")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var acc lpm.PoP
+	for i := 0; i < b.N; i++ {
+		pop, _, _ := table.Lookup(probes[i&1023])
+		acc += pop
+	}
+	benchPoPSink = acc
+}
+
+func BenchmarkLPMLookup10k(b *testing.B)  { benchmarkLPMLookup(b, 10_000) }
+func BenchmarkLPMLookup100k(b *testing.B) { benchmarkLPMLookup(b, 100_000) }
+func BenchmarkLPMLookup1M(b *testing.B)   { benchmarkLPMLookup(b, 1_000_000) }

@@ -24,12 +24,21 @@
 // the high mark the registry flips its fallback switch (exported as
 // meccdn_health_fallback_active) until load stays under the low mark.
 //
+// -cdn-domain embeds the C-DNS request router for one CDN domain.
+// -routes loads its subnet→PoP table ("prefix popID" per line, #
+// comments) and -pop maps each PoP ID to the edge address it answers
+// with; a query whose ECS-disclosed subnet (or, without ECS, resolver
+// source address) matches a route is answered with its PoP's address
+// and an RFC 7871 scope equal to the matched route length. Lookups
+// are exported as meccdn_route_lookups_total / meccdn_route_rows and
+// summarized on the admin /routes endpoint.
+//
 // -admin starts a side HTTP listener with /metrics (Prometheus text),
 // /healthz (503 while draining), /health (upstream health JSON),
-// /querylog (sampled JSON-lines trace, rate set by -qlog-sample) and
-// /debug/pprof. On SIGTERM/SIGINT the server drains: it stops
-// accepting, waits up to -drain for in-flight queries, then prints
-// the session's stats.
+// /routes (subnet-table summary), /querylog (sampled JSON-lines
+// trace, rate set by -qlog-sample) and /debug/pprof. On
+// SIGTERM/SIGINT the server drains: it stops accepting, waits up to
+// -drain for in-flight queries, then prints the session's stats.
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -78,11 +88,15 @@ func main() {
 		upAfter     = flag.Int("up-after", 2, "consecutive probe successes before a down upstream recovers")
 		loadHigh    = flag.Float64("load-high", 0, "ingress-load high watermark in [0,1] flipping the fallback switch (0 disables)")
 		loadLow     = flag.Float64("load-low", 0, "ingress-load low watermark; routing restores after load stays below it (0 means half of -load-high)")
+		cdnDomain   = flag.String("cdn-domain", "", "CDN domain served by the embedded C-DNS request router (empty disables)")
+		routes      = flag.String("routes", "", "subnet→PoP routes file for the C-DNS router, one \"prefix popID\" per line; requires -cdn-domain")
 		zones       repeated
 		stubs       repeated
+		pops        repeated
 	)
 	flag.Var(&zones, "zone", "origin=path to a zone file (repeatable)")
 	flag.Var(&stubs, "stub", "domain=upstream for stub-domain routing (repeatable)")
+	flag.Var(&pops, "pop", "id=addr answer address for a PoP in the routes file (repeatable); requires -cdn-domain")
 	flag.Parse()
 
 	cfg := serverConfig{
@@ -110,8 +124,11 @@ func main() {
 		upAfter:     *upAfter,
 		loadHigh:    *loadHigh,
 		loadLow:     *loadLow,
+		cdnDomain:   *cdnDomain,
+		routes:      *routes,
 		zones:       zones,
 		stubs:       stubs,
+		pops:        pops,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dnsd:", err)
@@ -136,7 +153,8 @@ type serverConfig struct {
 	probeIvl, probeTmo     time.Duration
 	downAfter, upAfter     int
 	loadHigh, loadLow      float64
-	zones, stubs           []string
+	cdnDomain, routes      string
+	zones, stubs, pops     []string
 }
 
 // daemon is the assembled-but-not-started server process.
@@ -148,6 +166,7 @@ type daemon struct {
 	admin   *meccdn.TelemetryAdmin // nil unless -admin was given
 	health  *meccdn.HealthRegistry // nil unless -probe-interval was given
 	checker *meccdn.HealthChecker  // probe loop feeding health
+	router  *meccdn.Router         // nil unless -cdn-domain was given
 }
 
 func run(cfg serverConfig) error {
@@ -171,7 +190,7 @@ func run(cfg serverConfig) error {
 			return err
 		}
 		defer d.admin.Close()
-		fmt.Printf("admin endpoint on http://%v (/metrics /healthz /health /querylog /debug/pprof)\n", d.admin.LocalAddr())
+		fmt.Printf("admin endpoint on http://%v (/metrics /healthz /health /routes /querylog /debug/pprof)\n", d.admin.LocalAddr())
 	}
 	fmt.Printf("dnsd listening on %v (UDP+TCP); Ctrl-C to stop\n", d.srv.LocalAddr())
 
@@ -270,6 +289,43 @@ func build(cfg serverConfig) (*daemon, error) {
 		plugins = append(plugins, zp)
 	}
 
+	var router *meccdn.Router
+	if cfg.cdnDomain != "" {
+		router = meccdn.NewRouter(cfg.cdnDomain)
+		for _, p := range cfg.pops {
+			idStr, addrStr, ok := strings.Cut(p, "=")
+			if !ok {
+				return nil, fmt.Errorf("bad -pop %q, want id=addr", p)
+			}
+			id, err := strconv.ParseUint(idStr, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad -pop id %q: %w", idStr, err)
+			}
+			addr, err := netip.ParseAddr(addrStr)
+			if err != nil {
+				return nil, fmt.Errorf("bad -pop address %q: %w", addrStr, err)
+			}
+			router.MapPoP(meccdn.PoP(id), addr)
+		}
+		if cfg.routes != "" {
+			f, err := os.Open(cfg.routes)
+			if err != nil {
+				return nil, err
+			}
+			table, err := meccdn.ParseRoutes(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("parsing -routes %s: %w", cfg.routes, err)
+			}
+			router.SetRoutes(table)
+			fmt.Printf("subnet routing for %s: %d routes (%d v4, %d v6), %d PoPs mapped\n",
+				meccdn.CanonicalName(cfg.cdnDomain), table.Rows(), table.RowsV4(), table.RowsV6(), len(cfg.pops))
+		}
+		plugins = append(plugins, router)
+	} else if cfg.routes != "" || len(cfg.pops) > 0 {
+		return nil, fmt.Errorf("-routes and -pop require -cdn-domain")
+	}
+
 	var fwd *meccdn.Forward
 	if cfg.forward != "" {
 		addrs, err := parseUpstreams(cfg.forward)
@@ -330,6 +386,11 @@ func build(cfg serverConfig) (*daemon, error) {
 			return nil, err
 		}
 	}
+	if router != nil {
+		if err := hub.Registry.Register(router.Collectors()...); err != nil {
+			return nil, err
+		}
+	}
 
 	nsockets := cfg.sockets
 	if nsockets <= 0 {
@@ -350,7 +411,7 @@ func build(cfg serverConfig) (*daemon, error) {
 	if err := hub.Registry.Register(srv.Collectors()...); err != nil {
 		return nil, err
 	}
-	d := &daemon{srv: srv, metrics: metrics, cache: cache, hub: hub, health: reg}
+	d := &daemon{srv: srv, metrics: metrics, cache: cache, hub: hub, health: reg, router: router}
 	if reg != nil {
 		// Probe goroutines drain with the server; ingress load is the
 		// UDP queue's fill fraction.
@@ -370,6 +431,20 @@ func build(cfg serverConfig) (*daemon, error) {
 		}
 		if reg != nil {
 			d.admin.Health = func() any { return reg.Snapshot() }
+		}
+		if router != nil {
+			d.admin.Routes = func() any {
+				t := router.Routes()
+				if t == nil {
+					return map[string]any{"rows": 0}
+				}
+				return map[string]any{
+					"rows":    t.Rows(),
+					"rows_v4": t.RowsV4(),
+					"rows_v6": t.RowsV6(),
+					"spans":   t.Spans(),
+				}
+			}
 		}
 	}
 	return d, nil

@@ -202,3 +202,66 @@ func TestBuildErrors(t *testing.T) {
 		t.Error("bad -forward accepted")
 	}
 }
+
+func TestBuildCDNRouter(t *testing.T) {
+	routesPath := filepath.Join(t.TempDir(), "routes.txt")
+	routes := `
+# loopback clients route to PoP 1
+127.0.0.0/8 1
+10.0.0.0/8 2
+`
+	if err := os.WriteFile(routesPath, []byte(routes), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := build(serverConfig{
+		listen:    "127.0.0.1:0",
+		cdnDomain: "mycdn.dnsd.test.",
+		routes:    routesPath,
+		pops:      []string{"1=192.0.2.201", "2=192.0.2.202"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.router == nil {
+		t.Fatal("no router built")
+	}
+	if rows := d.router.Routes().Rows(); rows != 2 {
+		t.Fatalf("route rows = %d, want 2", rows)
+	}
+	if err := d.srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.srv.Close()
+
+	// A real UDP query from loopback: no ECS, so the router falls back
+	// to the source address, which the routes file maps to PoP 1.
+	client := &meccdn.Client{Transport: &meccdn.NetTransport{}, Timeout: 2 * time.Second}
+	resp, err := client.Query(context.Background(), d.srv.LocalAddr(), "video.mycdn.dnsd.test.", meccdn.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].(*meccdn.A).Addr.String() != "192.0.2.201" {
+		t.Errorf("answers = %v, want PoP 1's 192.0.2.201", resp.Answers)
+	}
+}
+
+func TestBuildRoutesRequireCDNDomain(t *testing.T) {
+	if _, err := build(serverConfig{listen: ":0", routes: "whatever"}); err == nil {
+		t.Error("-routes without -cdn-domain accepted")
+	}
+	if _, err := build(serverConfig{listen: ":0", pops: []string{"1=192.0.2.1"}}); err == nil {
+		t.Error("-pop without -cdn-domain accepted")
+	}
+	if _, err := build(serverConfig{listen: ":0", cdnDomain: "d.test.", pops: []string{"noequals"}}); err == nil {
+		t.Error("bad -pop accepted")
+	}
+	if _, err := build(serverConfig{listen: ":0", cdnDomain: "d.test.", pops: []string{"x=192.0.2.1"}}); err == nil {
+		t.Error("non-numeric -pop id accepted")
+	}
+	if _, err := build(serverConfig{listen: ":0", cdnDomain: "d.test.", pops: []string{"1=notanaddr"}}); err == nil {
+		t.Error("bad -pop address accepted")
+	}
+	if _, err := build(serverConfig{listen: ":0", cdnDomain: "d.test.", routes: "/no/such/file"}); err == nil {
+		t.Error("missing routes file accepted")
+	}
+}

@@ -8,7 +8,7 @@
 //	experiments -fig 2|3|5           # one figure
 //	experiments -fig 5 -air 5g       # Figure 5 with the 5G projection
 //	experiments -ecs                 # the §4 ECS comparison
-//	experiments -x fallback|disagg|ipreuse|loadshed
+//	experiments -x fallback|disagg|ipreuse|loadshed|ecsroute
 //	experiments -seed 7 -runs 25     # change determinism / precision
 package main
 
@@ -27,7 +27,7 @@ func main() {
 		fig    = flag.Int("fig", 0, "regenerate figure 2, 3, or 5")
 		air    = flag.String("air", "4g", "air interface for figure 5: 4g or 5g")
 		ecs    = flag.Bool("ecs", false, "run the §4 ECS experiment")
-		ext    = flag.String("x", "", "extension experiment: fallback, disagg, ipreuse, loadshed")
+		ext    = flag.String("x", "", "extension experiment: fallback, disagg, ipreuse, loadshed, ecsroute")
 		all    = flag.Bool("all", false, "run everything")
 		seed   = flag.Int64("seed", 42, "simulation seed")
 		runs   = flag.Int("runs", 15, "runs per bar")
@@ -100,13 +100,14 @@ func run(table, fig int, air string, ecs bool, ext string, all bool, seed int64,
 		"fallback": func() (interface{ Render() string }, error) { return experiments.Fallback(seed, runs) },
 		"disagg":   func() (interface{ Render() string }, error) { return experiments.Disaggregation(seed, 0, 0) },
 		"ipreuse":  func() (interface{ Render() string }, error) { return experiments.IPReuse(seed, 0) },
+		"ecsroute": func() (interface{ Render() string }, error) { return experiments.ECSRouting(seed, 0, 0) },
 		"loadshed": func() (interface{ Render() string }, error) { return experiments.LoadShed(seed, 20, nil) },
 		"sweep": func() (interface{ Render() string }, error) {
 			return experiments.BudgetSweep(experiments.SweepConfig{Seed: seed, Runs: runs})
 		},
 	}
 	if all {
-		for _, name := range []string{"fallback", "disagg", "ipreuse", "loadshed", "sweep"} {
+		for _, name := range []string{"fallback", "disagg", "ipreuse", "loadshed", "sweep", "ecsroute"} {
 			res, err := exts[name]()
 			if err != nil {
 				return err
@@ -117,7 +118,7 @@ func run(table, fig int, air string, ecs bool, ext string, all bool, seed int64,
 	} else if ext != "" {
 		f, ok := exts[ext]
 		if !ok {
-			return fmt.Errorf("unknown extension %q (want fallback, disagg, ipreuse, loadshed, sweep)", ext)
+			return fmt.Errorf("unknown extension %q (want fallback, disagg, ipreuse, loadshed, sweep, ecsroute)", ext)
 		}
 		res, err := f()
 		if err != nil {

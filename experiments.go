@@ -27,6 +27,9 @@ type (
 	DisaggregationResult = experiments.DisaggregationResult
 	// IPReuseResult counts public-IP demand (X4).
 	IPReuseResult = experiments.IPReuseResult
+	// ECSRouteResult compares subnet-routing accuracy with and
+	// without ECS through a recursive resolver (X7).
+	ECSRouteResult = experiments.ECSRouteResult
 	// LoadShedResult records the DoS-threshold ramp (X5).
 	LoadShedResult = experiments.LoadShedResult
 	// SweepConfig parameterizes RunBudgetSweep.
@@ -60,6 +63,12 @@ func RunDisaggregation(seed int64, objects, requests int) (*DisaggregationResult
 // RunIPReuse regenerates the X4 public-IP accounting.
 func RunIPReuse(seed int64, customers int) (*IPReuseResult, error) {
 	return experiments.IPReuse(seed, customers)
+}
+
+// RunECSRouting regenerates the X7 subnet-routing accuracy comparison.
+// Zero clients/pops pick the defaults (24 clients, 4 PoPs).
+func RunECSRouting(seed int64, clients, pops int) (*ECSRouteResult, error) {
+	return experiments.ECSRouting(seed, clients, pops)
 }
 
 // RunLoadShed regenerates the X5 ingress-threshold ramp.

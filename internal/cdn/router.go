@@ -5,13 +5,19 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/meccdn/meccdn/internal/dnsserver"
 	"github.com/meccdn/meccdn/internal/dnswire"
 	"github.com/meccdn/meccdn/internal/geoip"
 	"github.com/meccdn/meccdn/internal/health"
+	"github.com/meccdn/meccdn/internal/lpm"
 	"github.com/meccdn/meccdn/internal/telemetry"
 )
+
+// PoP aliases lpm.PoP so callers wiring subnet routes do not need a
+// separate lpm import.
+type PoP = lpm.PoP
 
 // ServerInfo is the router's view of one cache server.
 type ServerInfo struct {
@@ -172,27 +178,49 @@ type Router struct {
 
 	mu      sync.RWMutex
 	servers map[string]*ServerInfo
+	// pops maps PoP IDs from the subnet table to their answer targets;
+	// guarded by mu.
+	pops map[lpm.PoP]popTarget
 
-	ctrOnce sync.Once
-	routed  *telemetry.CounterVec
+	// subnets is the ECS-driven subnet→PoP routing table, consulted
+	// before the policy path. Swapped atomically so a reload never
+	// blocks serving; nil means no table (legacy policy routing only).
+	subnets atomic.Pointer[lpm.Table]
+
+	ctrOnce  sync.Once
+	routed   *telemetry.CounterVec
+	routeCtr *telemetry.CounterVec
 }
 
-// counters lazily builds the routing counter, so Router keeps working
+// popTarget is where a PoP's traffic goes: a registered cache server
+// (health-gated, answering with its advertise address) and/or a static
+// answer address used directly — dnsd's standalone mode — and as the
+// fallback when the bound server is unregistered or unroutable.
+type popTarget struct {
+	addr   netip.Addr
+	server string
+}
+
+// counters lazily builds the routing counters, so Router keeps working
 // as a plain struct literal.
 func (rt *Router) counters() *telemetry.CounterVec {
 	rt.ctrOnce.Do(func() {
 		rt.routed = telemetry.NewCounterVec("meccdn_cdn_routed_total",
 			"C-DNS routing decisions by result (selected, referral, load_fallback, failed, nodata).", "result")
+		rt.routeCtr = telemetry.NewCounterVec("meccdn_route_lookups_total",
+			"Subnet→PoP table lookups by result: hit (route matched and answered), miss (no covering route), unmapped (route matched a PoP with no usable target).", "result")
 	})
 	return rt.routed
 }
 
 // Collectors returns the router's metric families for registration on
-// a telemetry.Registry: the routing-decision counter and a live
-// server-count gauge.
+// a telemetry.Registry: the routing-decision counters, a live
+// server-count gauge, and the subnet-table row gauge.
 func (rt *Router) Collectors() []telemetry.Collector {
+	rt.counters()
 	return []telemetry.Collector{
-		rt.counters(),
+		rt.routed,
+		rt.routeCtr,
 		telemetry.NewGaugeFunc("meccdn_cdn_servers",
 			"Cache servers currently registered with the C-DNS router.",
 			func() float64 {
@@ -200,7 +228,120 @@ func (rt *Router) Collectors() []telemetry.Collector {
 				defer rt.mu.RUnlock()
 				return float64(len(rt.servers))
 			}),
+		telemetry.NewGaugeFunc("meccdn_route_rows",
+			"Rows in the installed subnet→PoP routing table (0 when none).",
+			func() float64 {
+				if t := rt.subnets.Load(); t != nil {
+					return float64(t.Rows())
+				}
+				return 0
+			}),
 	}
+}
+
+// SetRoutes installs (or atomically replaces) the subnet→PoP routing
+// table. Safe to call while serving: in-flight lookups finish on the
+// old table, new ones see the new — the immutable-snapshot-swap
+// pattern, so a million-row table can be rebuilt and reloaded with
+// zero dropped queries.
+func (rt *Router) SetRoutes(t *lpm.Table) { rt.subnets.Store(t) }
+
+// Routes returns the installed subnet→PoP table, or nil.
+func (rt *Router) Routes() *lpm.Table { return rt.subnets.Load() }
+
+// MapPoP publishes addr as the answer address for clients whose subnet
+// routes to pop. This is the standalone deployment shape (cmd/dnsd
+// -pop): the PoP's edge address is configuration, not a registered
+// CacheServer.
+func (rt *Router) MapPoP(pop lpm.PoP, addr netip.Addr) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.pops == nil {
+		rt.pops = make(map[lpm.PoP]popTarget)
+	}
+	tgt := rt.pops[pop]
+	tgt.addr = addr
+	rt.pops[pop] = tgt
+}
+
+// BindPoP routes pop's traffic to a registered cache server by name:
+// the answer follows the server's advertise address and its health
+// verdict. A PoP may carry both a binding and a MapPoP address; the
+// static address serves as fallback while the server is unregistered
+// or unroutable.
+func (rt *Router) BindPoP(pop lpm.PoP, server string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.pops == nil {
+		rt.pops = make(map[lpm.PoP]popTarget)
+	}
+	tgt := rt.pops[pop]
+	tgt.server = server
+	rt.pops[pop] = tgt
+}
+
+// subnetRoute consults the subnet→PoP table for the client's
+// ECS-disclosed subnet (or, absent ECS, the resolver source address —
+// the very conflation the paper faults plain DNS for, kept only as the
+// fallback signal). It returns the answer address (invalid when the
+// table missed or the PoP had no usable target), the ECS scope to
+// stamp, and whether a table is installed at all.
+//
+// Scope semantics (RFC 7871): a route hit discriminated the client at
+// exactly the matched prefix length, so that is the scope; a miss (or
+// an unmapped PoP) means the table did not discriminate — scope 0, the
+// answer is as good for any subnet. Without a table the router stays
+// on its historical echo (scope = source), since policy routing may
+// still have used the full disclosed address for geo distance.
+func (rt *Router) subnetRoute(client ClientInfo) (netip.Addr, int, bool) {
+	table := rt.subnets.Load()
+	if table == nil {
+		return netip.Addr{}, -1, false
+	}
+	lookupAddr := client.Addr
+	if client.ECS.IsValid() {
+		lookupAddr = client.ECS.Addr()
+	}
+	pop, bits, ok := table.Lookup(lookupAddr)
+	if !ok {
+		rt.routeCtr.Inc("miss")
+		return netip.Addr{}, 0, true
+	}
+	addr, ok := rt.popAnswer(pop)
+	if !ok {
+		rt.routeCtr.Inc("unmapped")
+		return netip.Addr{}, 0, true
+	}
+	rt.routeCtr.Inc("hit")
+	return addr, bits, true
+}
+
+// popAnswer resolves a PoP to the address to publish. A bound server
+// wins while it is registered, flagged healthy, and — with a health
+// registry attached — routable per the probe verdicts; otherwise the
+// static MapPoP address, if any, takes over.
+func (rt *Router) popAnswer(pop lpm.PoP) (netip.Addr, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	tgt, ok := rt.pops[pop]
+	if !ok {
+		return netip.Addr{}, false
+	}
+	if tgt.server != "" {
+		if s := rt.servers[tgt.server]; s != nil && s.Server.Healthy() {
+			routable := true
+			if rt.Health != nil {
+				routable, _ = rt.Health.Eligible(tgt.server)
+			}
+			if routable {
+				return s.Answer(), true
+			}
+		}
+	}
+	if tgt.addr.IsValid() {
+		return tgt.addr, true
+	}
+	return netip.Addr{}, false
 }
 
 // NewRouter returns a router for domain.
@@ -324,28 +465,46 @@ func (rt *Router) ServeDNS(ctx context.Context, w dnsserver.ResponseWriter, r *d
 		endHop("load-fallback")
 		return rt.writeReferral(w, r)
 	}
-	selected := rt.Route(qname, rt.clientInfo(r))
+	client := rt.clientInfo(r)
+
+	// Subnet→PoP table first: with a table installed the disclosed
+	// subnet picks the edge directly, and the answer's scope is exactly
+	// the matched route length. scope stays -1 when no table is set
+	// (legacy echo: scope = source).
 	var addr netip.Addr
+	scope := -1
+	if popAddr, popScope, tabled := rt.subnetRoute(client); tabled {
+		scope = popScope
+		addr = popAddr
+	}
+
 	switch {
-	case selected != nil:
-		addr = selected.Answer()
+	case addr.IsValid():
 		routed.Inc("selected")
-		endHop(selected.Server.Name)
-	case rt.Parent.IsValid():
-		// Cross-tier referral: "C-DNS simply returns the address of
-		// another C-DNS running at a different CDN tier" (§3 P2).
-		// Encoded as a proper DNS referral so clients and resolvers
-		// can chase it: NS in authority, glue in additional.
-		routed.Inc("referral")
-		endHop("referral")
-		return rt.writeReferral(w, r)
+		endHop("subnet-route")
 	default:
-		routed.Inc("failed")
-		endHop("failed")
-		m := new(dnswire.Message)
-		m.SetRcode(r.Msg, dnswire.RcodeServerFailure)
-		_ = w.WriteMsg(m)
-		return dnswire.RcodeServerFailure, nil
+		selected := rt.Route(qname, client)
+		switch {
+		case selected != nil:
+			addr = selected.Answer()
+			routed.Inc("selected")
+			endHop(selected.Server.Name)
+		case rt.Parent.IsValid():
+			// Cross-tier referral: "C-DNS simply returns the address of
+			// another C-DNS running at a different CDN tier" (§3 P2).
+			// Encoded as a proper DNS referral so clients and resolvers
+			// can chase it: NS in authority, glue in additional.
+			routed.Inc("referral")
+			endHop("referral")
+			return rt.writeReferral(w, r)
+		default:
+			routed.Inc("failed")
+			endHop("failed")
+			m := new(dnswire.Message)
+			m.SetRcode(r.Msg, dnswire.RcodeServerFailure)
+			_ = w.WriteMsg(m)
+			return dnswire.RcodeServerFailure, nil
+		}
 	}
 
 	ttl := rt.TTL
@@ -362,7 +521,16 @@ func (rt *Router) ServeDNS(ctx context.Context, w dnsserver.ResponseWriter, r *d
 	if ecs, ok := r.Msg.ECS(); ok {
 		opt := m.SetEDNS(dnswire.DefaultEDNSSize)
 		scoped := *ecs
-		scoped.ScopePrefix = ecs.SourcePrefix
+		if scope >= 0 {
+			// RFC 7871 §7.2.1: scope = how much of the address the
+			// answer actually depended on — the matched route length on
+			// a table hit, 0 when the table did not discriminate.
+			scoped.ScopePrefix = uint8(scope)
+		} else {
+			// No table: policy routing may have used the full disclosed
+			// prefix (geo distance), so keep the historical full echo.
+			scoped.ScopePrefix = ecs.SourcePrefix
+		}
 		opt.Options = append(opt.Options, &scoped)
 	}
 	if err := w.WriteMsg(m); err != nil {

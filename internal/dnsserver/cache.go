@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	mathbits "math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,9 +45,13 @@ type CacheStats struct {
 }
 
 // Cache is a TTL-honouring response cache with RFC 2308 negative
-// caching and LRU eviction. Responses are keyed by question and, when
-// the upstream scoped its answer with ECS, by client subnet — which is
-// precisely the cache-fragmentation cost of ECS the paper alludes to.
+// caching and LRU eviction. Responses are keyed by question and, for
+// ECS queries, by the *answer's* scope-masked subnet (RFC 7871
+// §7.3.1): an authority that tailors to /16 granularity costs one
+// entry per /16, not one per disclosed /24 — so the
+// cache-fragmentation cost of ECS the paper alludes to is bounded by
+// how finely the authority actually discriminates, not by how much
+// clients disclose.
 //
 // The cache is sharded by key hash: each shard has its own mutex and
 // LRU list, so concurrent queries for different names never contend
@@ -98,6 +103,16 @@ type Cache struct {
 	shards      []*cacheShard
 	ctr         cacheCounters
 	prefetchSem chan struct{}
+
+	// scope4/scope6 are per-family bitmask hints of which ECS scope
+	// lengths have ever been stored (bit S set ⇔ some entry is keyed at
+	// scope S). An ECS lookup probes only the set scopes, longest
+	// first, so a table with two distinct scopes costs two map probes,
+	// not 33. Bits are only ever set (entries expire but scopes stay
+	// plausible); updated with a CAS loop, read with a single load.
+	// scope4 holds bits 0..32; scope6 bits 0..128 across three words.
+	scope4 atomic.Uint64
+	scope6 [3]atomic.Uint64
 }
 
 // cacheCounters are the cache's off-hot-path counters as telemetry
@@ -339,16 +354,177 @@ const cacheKeyBuf = 288
 // appendCacheKey appends r's cache key to b and returns the extended
 // slice. Passing a stack buffer keeps the hit path free of the
 // per-query key allocation; the string is materialized only on a miss
-// (when the entry has to be stored anyway).
+// (when the entry has to be stored anyway). ECS requests are keyed at
+// the full disclosed source length; scoped lookups and stores build
+// their own suffix with appendECSKey.
 func appendCacheKey(b []byte, r *Request) []byte {
+	b = appendBaseKey(b, r)
+	if ecs, ok := r.Msg.ECS(); ok {
+		_, famBits := ecsFamily(ecs)
+		b = appendECSKey(b, ecs, int(ecs.SourcePrefix), famBits)
+	}
+	return b
+}
+
+// appendBaseKey appends the ECS-independent part of r's cache key.
+func appendBaseKey(b []byte, r *Request) []byte {
 	b = append(b, r.Name()...)
 	b = append(b, '|')
 	b = append(b, r.Type().String()...)
-	if ecs, ok := r.Msg.ECS(); ok {
-		b = append(b, '|')
-		b = append(b, ecs.Prefix().String()...)
-	}
 	return b
+}
+
+// ecsFamily resolves an ECS option to its key-suffix family byte and
+// address width in bits.
+func ecsFamily(ecs *dnswire.ECSOption) (byte, int) {
+	if ecs.Family == 2 {
+		return 2, 128
+	}
+	return 1, 32
+}
+
+// appendECSKey appends an ECS key suffix for the given prefix length:
+// a separator, the family byte, the length byte, and the address bytes
+// masked down to that length. Binary and allocation-free, unlike the
+// Prefix().String() rendering it replaces, and parameterized on the
+// length so one query can probe several scopes.
+func appendECSKey(b []byte, ecs *dnswire.ECSOption, bits, famBits int) []byte {
+	if bits < 0 {
+		bits = 0
+	}
+	if bits > famBits {
+		bits = famBits
+	}
+	fam := byte(1)
+	if famBits == 128 {
+		fam = 2
+	}
+	b = append(b, '|', fam, byte(bits))
+	n := (bits + 7) / 8
+	if n == 0 {
+		return b
+	}
+	var raw [16]byte
+	if famBits == 32 {
+		if !ecs.Address.Is4() && !ecs.Address.Is4In6() {
+			return b
+		}
+		a4 := ecs.Address.As4()
+		copy(raw[:], a4[:])
+	} else {
+		if !ecs.Address.IsValid() {
+			return b
+		}
+		raw = ecs.Address.As16()
+	}
+	if rem := bits % 8; rem != 0 {
+		raw[n-1] &= byte(0xFF << (8 - rem))
+	}
+	return append(b, raw[:n]...)
+}
+
+// markScope records that an entry exists keyed at the given family and
+// scope length, so lookups know to probe it.
+func (c *Cache) markScope(famBits, scope int) {
+	if famBits == 32 {
+		orBit(&c.scope4, scope)
+		return
+	}
+	orBit(&c.scope6[scope>>6], scope&63)
+}
+
+// orBit sets bit b of w. A CAS loop instead of atomic.Or keeps the
+// module at its declared go 1.22 floor.
+func orBit(w *atomic.Uint64, b int) {
+	mask := uint64(1) << b
+	for {
+		old := w.Load()
+		if old&mask != 0 || w.CompareAndSwap(old, old|mask) {
+			return
+		}
+	}
+}
+
+// serveScoped is the ECS cache lookup. RFC 7871 §7.3.1: a cached
+// entry answers a query when its scope-masked prefix covers the
+// query's address at no more bits than the client disclosed, most
+// specific entry first. Entries are keyed at store time by the
+// *answer's* scope (see storeForRequest), so the lookup probes the
+// base key extended with each plausible scope length in descending
+// order — bounded by the per-family scope-hint bitmask, which in
+// practice holds a handful of bits, not all 33/129. Probes reuse the
+// caller's stack buffer: each one overwrites the previous suffix, so
+// the ladder allocates nothing.
+//
+// It returns the key and shard the caller should resolve under on a
+// miss (the full source-masked key — also the singleflight identity)
+// or the key/shard of the hit, plus the lookup outcome. Counting: a
+// hit is counted by serveHit on the hit's shard; a miss is counted
+// here, once, on the resolve key's shard, keeping the
+// Hits+Misses+Expired == lookups invariant even though one lookup may
+// probe several shards.
+func (c *Cache) serveScoped(kb *[cacheKeyBuf]byte, ecs *dnswire.ECSOption, now time.Duration, w ResponseWriter, r *Request) ([]byte, *cacheShard, lookupResult) {
+	base := appendBaseKey(kb[:0], r)
+	baseLen := len(base)
+	_, famBits := ecsFamily(ecs)
+	source := int(ecs.SourcePrefix)
+	if source > famBits {
+		source = famBits
+	}
+	var stale *cacheEntry
+	probe := func(scope int) ([]byte, *cacheShard, lookupResult, bool) {
+		key := appendECSKey(base[:baseLen], ecs, scope, famBits)
+		psh := c.shardOf(key)
+		pres := c.serveHit(psh, key, now, w, r, false)
+		if pres.hit {
+			return key, psh, pres, true
+		}
+		if pres.stale != nil && stale == nil {
+			stale = pres.stale // longest-scope stale candidate wins
+		}
+		return nil, nil, lookupResult{}, false
+	}
+	if famBits == 32 {
+		word := c.scope4.Load()
+		if source < 63 {
+			word &= (uint64(1) << (source + 1)) - 1
+		}
+		for word != 0 {
+			s := 63 - mathbits.LeadingZeros64(word)
+			if key, sh, res, ok := probe(s); ok {
+				return key, sh, res
+			}
+			word &^= uint64(1) << s
+		}
+	} else {
+		for wi := 2; wi >= 0; wi-- {
+			word := c.scope6[wi].Load()
+			lo := wi * 64
+			if source < lo {
+				continue
+			}
+			if source < lo+63 {
+				word &= (uint64(1) << (source - lo + 1)) - 1
+			}
+			for word != 0 {
+				s := 63 - mathbits.LeadingZeros64(word)
+				if key, sh, res, ok := probe(lo + s); ok {
+					return key, sh, res
+				}
+				word &^= uint64(1) << s
+			}
+		}
+	}
+	qkey := appendECSKey(base, ecs, source, famBits)
+	qsh := c.shardOf(qkey)
+	qsh.mu.Lock()
+	if stale != nil {
+		qsh.expired++
+	} else {
+		qsh.misses++
+	}
+	qsh.mu.Unlock()
+	return qkey, qsh, lookupResult{stale: stale}
 }
 
 // lookupResult is the outcome of one cache lookup.
@@ -368,10 +544,18 @@ type lookupResult struct {
 // ServeDNS implements Plugin.
 func (c *Cache) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
 	var kb [cacheKeyBuf]byte
-	kbuf := appendCacheKey(kb[:0], r)
-	sh := c.shardOf(kbuf)
 	endLookup := telemetry.StartHop(ctx, "cache")
-	res := c.serveHit(sh, kbuf, c.Clock.Now(), w, r)
+	now := c.Clock.Now()
+	var kbuf []byte
+	var sh *cacheShard
+	var res lookupResult
+	if ecs, ok := r.Msg.ECS(); ok {
+		kbuf, sh, res = c.serveScoped(&kb, ecs, now, w, r)
+	} else {
+		kbuf = appendBaseKey(kb[:0], r)
+		sh = c.shardOf(kbuf)
+		res = c.serveHit(sh, kbuf, now, w, r, true)
+	}
 	if res.hit {
 		endLookup("hit")
 		if res.refresh != nil {
@@ -444,11 +628,48 @@ func (c *Cache) fill(ctx context.Context, sh *cacheShard, f *flight, key string,
 		}
 		return rcode, err
 	}
-	c.store(sh, key, rec.msg)
+	c.storeForRequest(r, sh, key, rec.msg)
 	if err := w.WriteMsg(rec.msg); err != nil {
 		return dnswire.RcodeServerFailure, err
 	}
 	return rec.msg.Rcode, nil
+}
+
+// storeForRequest caches msg under the key the *answer* dictates. For
+// a non-ECS request that is simply the query key. For ECS, RFC 7871
+// §7.3.1 keying: the response's scope prefix — 0 when the answer
+// carried no ECS option (§7.2.2: such an answer is valid for all
+// addresses), clamped to the disclosed source length — masks the query
+// address into the entry key. A /16-scoped answer to a /24 query is
+// therefore stored once under the /16 key, where every sibling /24
+// finds it, instead of fragmenting into 256 identical entries.
+func (c *Cache) storeForRequest(r *Request, qsh *cacheShard, qkey string, msg *dnswire.Message) {
+	ecs, ok := r.Msg.ECS()
+	if !ok {
+		c.store(qsh, qkey, msg)
+		return
+	}
+	_, famBits := ecsFamily(ecs)
+	source := int(ecs.SourcePrefix)
+	if source > famBits {
+		source = famBits
+	}
+	scope := 0
+	if recs, ok := msg.ECS(); ok {
+		scope = int(recs.ScopePrefix)
+	}
+	if scope > source {
+		scope = source
+	}
+	c.markScope(famBits, scope)
+	if scope == source {
+		// The scoped key equals the query key the caller already built.
+		c.store(qsh, qkey, msg)
+		return
+	}
+	var kb [cacheKeyBuf]byte
+	key := appendECSKey(appendBaseKey(kb[:0], r), ecs, scope, famBits)
+	c.store(c.shardOf(key), string(key), msg)
 }
 
 // discardWriter swallows a prefetch's response: the refreshed answer
@@ -543,6 +764,7 @@ func staleResponse(ent *cacheEntry, r *Request, ttl uint32) *dnswire.Message {
 	msg.ID = r.Msg.ID
 	msg.RecursionDesired = r.Msg.RecursionDesired
 	msg.CheckingDisabled = r.Msg.CheckingDisabled
+	patchECSEcho(msg, r)
 	for _, section := range [][]dnswire.RR{msg.Answers, msg.Authorities, msg.Additionals} {
 		for _, rr := range section {
 			if rr.Header().Type == dnswire.TypeOPT {
@@ -622,11 +844,18 @@ func (c *Cache) serveStale(sh *cacheShard, f *flight, key string, w ResponseWrit
 // the entry back in lookupResult.refresh; expired entries still inside
 // the MaxStale window are kept in place (the refill's store replaces
 // them) and returned in lookupResult.stale.
-func (c *Cache) serveHit(sh *cacheShard, key []byte, now time.Duration, w ResponseWriter, r *Request) lookupResult {
+//
+// count gates the miss-side counters (misses, expired): a scoped ECS
+// lookup probes several keys for one logical lookup and counts its
+// overall outcome in serveScoped instead. Hit counters are always
+// credited here, on the shard that actually served.
+func (c *Cache) serveHit(sh *cacheShard, key []byte, now time.Duration, w ResponseWriter, r *Request, count bool) lookupResult {
 	sh.mu.Lock()
 	el, ok := sh.items[string(key)] // no alloc: map lookup by converted key
 	if !ok {
-		sh.misses++
+		if count {
+			sh.misses++
+		}
 		sh.mu.Unlock()
 		return lookupResult{}
 	}
@@ -636,13 +865,17 @@ func (c *Cache) serveHit(sh *cacheShard, key []byte, now time.Duration, w Respon
 			// Keep the expired entry: it is the serve-stale fallback
 			// if the refill fails, and store() replaces it if the
 			// refill succeeds. Still a miss for accounting.
-			sh.expired++
+			if count {
+				sh.expired++
+			}
 			sh.mu.Unlock()
 			return lookupResult{stale: ent}
 		}
 		sh.lru.Remove(el)
 		delete(sh.items, string(key))
-		sh.expired++
+		if count {
+			sh.expired++
+		}
 		sh.mu.Unlock()
 		return lookupResult{}
 	}
@@ -691,6 +924,7 @@ func (c *Cache) serveHit(sh *cacheShard, key []byte, now time.Duration, w Respon
 	msg.ID = r.Msg.ID
 	msg.RecursionDesired = r.Msg.RecursionDesired
 	msg.CheckingDisabled = r.Msg.CheckingDisabled
+	patchECSEcho(msg, r)
 	// Age the TTLs by the time spent in cache.
 	for _, section := range [][]dnswire.RR{msg.Answers, msg.Authorities, msg.Additionals} {
 		for _, rr := range section {
@@ -710,6 +944,26 @@ func (c *Cache) serveHit(sh *cacheShard, key []byte, now time.Duration, w Respon
 	}
 	res.rcode = msg.Rcode
 	return res
+}
+
+// patchECSEcho rewrites the ECS echo of a cached response clone for
+// the current query: Address, SourcePrefix, and Family mirror the
+// query per RFC 7871 §7.2.1, while ScopePrefix keeps the stored
+// answer's scope — the entry may have been stored by a sibling subnet
+// whose masked address differs from this client's in the bits beyond
+// the scope.
+func patchECSEcho(msg *dnswire.Message, r *Request) {
+	qecs, ok := r.Msg.ECS()
+	if !ok {
+		return
+	}
+	recs, ok := msg.ECS()
+	if !ok {
+		return
+	}
+	recs.Family = qecs.Family
+	recs.Address = qecs.Address
+	recs.SourcePrefix = qecs.SourcePrefix
 }
 
 // store caches msg under key for its effective TTL.

@@ -129,17 +129,16 @@ func TestCacheNegative(t *testing.T) {
 func TestCacheECSFragmentation(t *testing.T) {
 	clock := &vclock.Fixed{}
 	cache := NewCache(clock)
-	backend := &countingPlugin{h: answerHandler("192.0.2.9")}
+	// The backend tailors its answers to the full disclosed prefix
+	// (scope = source), so every distinct subnet costs its own entry —
+	// the fragmentation worst case. A backend that answers without ECS
+	// (or scope 0) would share one entry across all subnets; see
+	// ecscache_test.go for those semantics.
+	backend := &countingPlugin{h: ecsAnswerHandler("192.0.2.9", echoSourceScope)}
 	h := Chain(cache, backend)
-	withECS := func(prefix string) *Request {
-		r := queryFor("frag.test.")
-		opt := r.Msg.SetEDNS(1232)
-		opt.Options = append(opt.Options, dnswire.NewECSOption(netip.MustParsePrefix(prefix)))
-		return r
-	}
-	Resolve(context.Background(), h, withECS("10.1.0.0/24"))
-	Resolve(context.Background(), h, withECS("10.2.0.0/24"))
-	Resolve(context.Background(), h, withECS("10.1.0.0/24"))
+	Resolve(context.Background(), h, ecsQueryFor("frag.test.", "10.1.0.0/24"))
+	Resolve(context.Background(), h, ecsQueryFor("frag.test.", "10.2.0.0/24"))
+	Resolve(context.Background(), h, ecsQueryFor("frag.test.", "10.1.0.0/24"))
 	if backend.hits != 2 {
 		t.Errorf("ECS fragmentation: backend hits = %d, want 2", backend.hits)
 	}

@@ -159,6 +159,7 @@ func (rec *recorder) WriteMsg(m *dnswire.Message) error {
 // rcode (or SERVFAIL on error) when no plugin answered. It is the
 // engine shared by the socket server, the simnet adapter, and tests.
 func Resolve(ctx context.Context, h Handler, req *Request) *dnswire.Message {
+	normalizeQueryECS(req)
 	rec := &recorder{}
 	rcode, err := h.ServeDNS(ctx, rec, req)
 	if rec.written {
@@ -171,6 +172,19 @@ func Resolve(ctx context.Context, h Handler, req *Request) *dnswire.Message {
 	}
 	m.SetRcode(req.Msg, rcode)
 	return m
+}
+
+// normalizeQueryECS enforces the RFC 7871 §6 query-side invariants on
+// an inbound request's ECS option — scope zeroed, undisclosed address
+// bits masked — before any plugin sees it. Running in the shared
+// Resolve/ResolveTo engines covers every ingress: UDP, TCP, the simnet
+// adapter, and tests.
+func normalizeQueryECS(req *Request) {
+	if opt, ok := req.Msg.OPT(); ok {
+		if ecs, ok := opt.ECS(); ok {
+			ecs.NormalizeQuery()
+		}
+	}
 }
 
 // responseTracker is a ResponseWriter that knows whether it has been
@@ -191,6 +205,7 @@ type responseTracker interface {
 // socket writers do) receives cached answers as patched wire bytes,
 // which is the allocation-free fast path of the serve loop.
 func ResolveTo(ctx context.Context, h Handler, w ResponseWriter, req *Request) dnswire.Rcode {
+	normalizeQueryECS(req)
 	if t, ok := w.(responseTracker); ok {
 		rcode, err := h.ServeDNS(ctx, w, req)
 		if t.Written() {

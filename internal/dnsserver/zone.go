@@ -325,12 +325,15 @@ func (p *ZonePlugin) ServeDNS(ctx context.Context, w ResponseWriter, r *Request,
 			}
 		}
 	}
-	// Echo the client's ECS option with a scope, per RFC 7871 §7.2.1,
-	// so resolvers know the answer may be cached per-subnet.
+	// Echo the client's ECS option per RFC 7871 §7.2.1. Zone data is
+	// static — the same answer goes to every subnet — so the honest
+	// scope is 0: resolvers may serve this answer to all their clients
+	// from one cache entry. Subnet-tailored answers (and their nonzero
+	// scopes) are the CDN router's job, not the zone's.
 	if ecs, ok := r.Msg.ECS(); ok {
 		opt := m.SetEDNS(dnswire.DefaultEDNSSize)
 		scoped := *ecs
-		scoped.ScopePrefix = ecs.SourcePrefix
+		scoped.ScopePrefix = 0
 		opt.Options = append(opt.Options, &scoped)
 	}
 	if err := w.WriteMsg(m); err != nil {

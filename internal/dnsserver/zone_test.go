@@ -229,8 +229,13 @@ func TestZonePluginEchoesECSScope(t *testing.T) {
 	if !ok {
 		t.Fatal("response lacks ECS")
 	}
-	if ecs.ScopePrefix != 24 {
-		t.Errorf("scope = %d", ecs.ScopePrefix)
+	// Static zone data is identical for every subnet, so the echoed
+	// scope must be 0 (RFC 7871 §7.2.2 semantics: cacheable for all).
+	if ecs.ScopePrefix != 0 {
+		t.Errorf("scope = %d, want 0", ecs.ScopePrefix)
+	}
+	if ecs.SourcePrefix != 24 {
+		t.Errorf("source = %d, want 24", ecs.SourcePrefix)
 	}
 }
 

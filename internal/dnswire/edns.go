@@ -179,6 +179,30 @@ func (o *ECSOption) Prefix() netip.Prefix {
 	return netip.PrefixFrom(o.Address, int(o.SourcePrefix))
 }
 
+// NormalizeQuery enforces the RFC 7871 §6 query-side invariants on the
+// option in place: ScopePrefix MUST be zero in queries, and address
+// bits beyond SourcePrefix MUST be zero. Servers call this on ingress
+// so a sloppy or hostile client cannot leak stray host bits into
+// routing decisions or fragment caches keyed on the masked subnet.
+func (o *ECSOption) NormalizeQuery() {
+	o.ScopePrefix = 0
+	o.maskAddress()
+}
+
+// maskAddress zeroes address bits beyond SourcePrefix.
+func (o *ECSOption) maskAddress() {
+	if !o.Address.IsValid() {
+		return
+	}
+	bits := int(o.SourcePrefix)
+	if bits >= o.Address.BitLen() {
+		return
+	}
+	if p, err := o.Address.Prefix(bits); err == nil {
+		o.Address = p.Addr()
+	}
+}
+
 // String renders the option dig-style.
 func (o *ECSOption) String() string {
 	return fmt.Sprintf("CLIENT-SUBNET %s/%d/%d", o.Address, o.SourcePrefix, o.ScopePrefix)
@@ -244,6 +268,10 @@ func (o *ECSOption) unpackOption(data []byte) error {
 	default:
 		return fmt.Errorf("%w: ECS family %d", ErrBadRdata, o.Family)
 	}
+	// RFC 7871 §6 requires bits beyond SourcePrefix be zero on the
+	// wire; a sender that set them anyway must not have them surface
+	// in the decoded address, so mask here rather than trust.
+	o.maskAddress()
 	return nil
 }
 

@@ -179,3 +179,59 @@ func TestECSOptionUnpackNeverPanics(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Stray address bits inside the final disclosed octet must not
+// survive decoding (RFC 7871 §6: they MUST be zero on the wire, so a
+// sender that set them anyway must not have them reach routing code).
+func TestECSUnpackMasksStrayBits(t *testing.T) {
+	// Family 1, /20, 3 address octets with the low nibble of the last
+	// octet (beyond the 20 disclosed bits) set.
+	data := []byte{0, 1, 20, 0, 203, 0, 0xFF}
+	var o ECSOption
+	if err := o.unpackOption(data); err != nil {
+		t.Fatal(err)
+	}
+	if want := netip.MustParseAddr("203.0.240.0"); o.Address != want {
+		t.Errorf("address = %v, want %v", o.Address, want)
+	}
+
+	// Family 2, /61, 8 octets with bits 61-63 set.
+	data6 := []byte{0, 2, 61, 0, 0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0x07}
+	var o6 ECSOption
+	if err := o6.unpackOption(data6); err != nil {
+		t.Fatal(err)
+	}
+	if want := netip.MustParseAddr("2001:db8::"); o6.Address != want {
+		t.Errorf("v6 address = %v, want %v", o6.Address, want)
+	}
+}
+
+func TestECSNormalizeQuery(t *testing.T) {
+	o := &ECSOption{Family: 1, SourcePrefix: 24, ScopePrefix: 17,
+		Address: netip.MustParseAddr("198.51.100.77")}
+	o.NormalizeQuery()
+	if o.ScopePrefix != 0 {
+		t.Errorf("scope = %d, want 0", o.ScopePrefix)
+	}
+	if want := netip.MustParseAddr("198.51.100.0"); o.Address != want {
+		t.Errorf("address = %v, want %v", o.Address, want)
+	}
+	if o.SourcePrefix != 24 {
+		t.Errorf("source = %d changed", o.SourcePrefix)
+	}
+
+	// Zero-length disclosure keeps nothing.
+	z := &ECSOption{Family: 1, SourcePrefix: 0, ScopePrefix: 3,
+		Address: netip.MustParseAddr("198.51.100.77")}
+	z.NormalizeQuery()
+	if want := netip.MustParseAddr("0.0.0.0"); z.Address != want || z.ScopePrefix != 0 {
+		t.Errorf("normalized /0 = %v/%d", z.Address, z.ScopePrefix)
+	}
+
+	// An invalid (zero) address must not panic.
+	inv := &ECSOption{Family: 1, SourcePrefix: 8, ScopePrefix: 1}
+	inv.NormalizeQuery()
+	if inv.ScopePrefix != 0 {
+		t.Errorf("invalid-address scope = %d", inv.ScopePrefix)
+	}
+}

@@ -1,0 +1,110 @@
+package lpm
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"testing"
+)
+
+// FuzzLPMLookup differentially tests the interval table against the
+// naive linear-scan reference: the fuzzer's bytes are decoded into a
+// route set plus probe addresses, both implementations are loaded with
+// the same routes, and every probe — the fuzz-chosen addresses plus
+// each route's own start and end boundary — must agree.
+func FuzzLPMLookup(f *testing.F) {
+	f.Add([]byte{0x00, 10, 0, 0, 0, 16, 1, 0x00, 10, 1, 0, 0, 24, 2})
+	f.Add([]byte{0x01, 0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 32, 3})
+	f.Add([]byte{0x00, 0, 0, 0, 0, 0, 9}) // 0.0.0.0/0
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := NewBuilder()
+		ref := &Reference{}
+		var prefixes []netip.Prefix
+		// Decode records: tag byte selects family; v4 records are
+		// addr(4)+bits(1)+pop(1), v6 records addr(16)+bits(1)+pop(1).
+		// Cap the route count so a large input can't stall the fuzzer.
+		for len(data) > 0 && len(prefixes) < 64 {
+			tag := data[0]
+			data = data[1:]
+			var addr netip.Addr
+			var maxBits int
+			if tag&1 == 0 {
+				if len(data) < 6 {
+					break
+				}
+				var a [4]byte
+				copy(a[:], data)
+				addr, maxBits = netip.AddrFrom4(a), 32
+				data = data[4:]
+			} else {
+				if len(data) < 18 {
+					break
+				}
+				var a [16]byte
+				copy(a[:], data)
+				addr, maxBits = netip.AddrFrom16(a), 128
+				data = data[16:]
+			}
+			bits := int(data[0]) % (maxBits + 1)
+			pop := PoP(data[1])
+			data = data[2:]
+			p, err := addr.Prefix(bits)
+			if err != nil {
+				continue
+			}
+			if err := b.Add(p, pop); err != nil {
+				t.Fatalf("Builder.Add(%v): %v", p, err)
+			}
+			if err := ref.Add(p, pop); err != nil {
+				t.Fatalf("Reference.Add(%v): %v", p, err)
+			}
+			prefixes = append(prefixes, p)
+		}
+		tab := b.Build()
+
+		check := func(addr netip.Addr) {
+			gp, gb, gok := tab.Lookup(addr)
+			wp, wb, wok := ref.Lookup(addr)
+			if gp != wp || gb != wb || gok != wok {
+				t.Fatalf("Lookup(%s) = (%d,%d,%v), reference (%d,%d,%v)",
+					addr, gp, gb, gok, wp, wb, wok)
+			}
+		}
+		// Probe every route's first and last covered address — the
+		// interval boundaries, where an off-by-one would live.
+		for _, p := range prefixes {
+			check(p.Masked().Addr())
+			check(lastAddr(p))
+		}
+		// And any leftover fuzz bytes as raw probe addresses.
+		for len(data) >= 4 {
+			if len(data) >= 16 {
+				var a [16]byte
+				copy(a[:], data)
+				check(netip.AddrFrom16(a))
+			}
+			var a [4]byte
+			copy(a[:], data)
+			check(netip.AddrFrom4(a))
+			data = data[4:]
+		}
+	})
+}
+
+// lastAddr returns the highest address covered by p.
+func lastAddr(p netip.Prefix) netip.Addr {
+	addr := p.Masked().Addr()
+	if addr.Is4() {
+		a4 := addr.As4()
+		v := binary.BigEndian.Uint32(a4[:])
+		if p.Bits() < 32 {
+			v |= ^uint32(0) >> p.Bits()
+		}
+		binary.BigEndian.PutUint32(a4[:], v)
+		return netip.AddrFrom4(a4)
+	}
+	a16 := addr.As16()
+	for i := p.Bits(); i < 128; i++ {
+		a16[i/8] |= 1 << (7 - i%8)
+	}
+	return netip.AddrFrom16(a16)
+}

@@ -1,0 +1,56 @@
+package lpm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// ParseRoutes reads a routing table in the dnsd -routes text format:
+// one "prefix popID" pair per line, whitespace-separated, with blank
+// lines and #-comments (whole-line or trailing) ignored:
+//
+//	# subnet            PoP
+//	10.1.0.0/16         1
+//	10.1.7.0/24         2     # more specific override
+//	2001:db8::/32       3
+//
+// It returns the built Table. Errors carry the 1-based line number.
+func ParseRoutes(r io.Reader) (*Table, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("lpm: line %d: want \"prefix popID\", got %d fields", line, len(fields))
+		}
+		prefix, err := netip.ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("lpm: line %d: %w", line, err)
+		}
+		pop, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("lpm: line %d: bad PoP id %q: %w", line, fields[1], err)
+		}
+		if err := b.Add(prefix, PoP(pop)); err != nil {
+			return nil, fmt.Errorf("lpm: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lpm: reading routes: %w", err)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,59 @@
+package lpm
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Reference is the naive linear-scan longest-prefix-match used to
+// differentially test Table: same Add normalization, same tie-break
+// (the last-added of two identical prefixes wins), O(n) per lookup.
+type Reference struct {
+	routes []refRoute
+}
+
+type refRoute struct {
+	prefix netip.Prefix
+	pop    PoP
+}
+
+// Add registers prefix → pop, with the same 4-in-6 normalization as
+// Builder.Add.
+func (r *Reference) Add(prefix netip.Prefix, pop PoP) error {
+	if !prefix.IsValid() {
+		return fmt.Errorf("lpm: invalid prefix %v", prefix)
+	}
+	prefix = prefix.Masked()
+	addr := prefix.Addr()
+	bits := prefix.Bits()
+	if addr.Is4In6() && bits >= 96 {
+		var err error
+		if prefix, err = addr.Unmap().Prefix(bits - 96); err != nil {
+			return err
+		}
+	}
+	r.routes = append(r.routes, refRoute{prefix: prefix, pop: pop})
+	return nil
+}
+
+// Lookup scans every route and returns the longest match. Iteration is
+// in insertion order with >= comparison, so of two identical prefixes
+// the later-added wins — matching Table's duplicate rule.
+func (r *Reference) Lookup(addr netip.Addr) (PoP, int, bool) {
+	if !addr.IsValid() {
+		return 0, 0, false
+	}
+	addr = addr.Unmap()
+	best := -1
+	var pop PoP
+	for _, rt := range r.routes {
+		if rt.prefix.Contains(addr) && rt.prefix.Bits() >= best {
+			best = rt.prefix.Bits()
+			pop = rt.pop
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return pop, best, true
+}

@@ -46,6 +46,13 @@ type Resolver struct {
 	MaxReferrals int
 	// MaxCNAME bounds alias chains; 0 means 8.
 	MaxCNAME int
+	// ForwardECS forwards the client's EDNS Client Subnet option on
+	// upstream content queries (RFC 7871 forwarding-recursive
+	// behavior). Off by default, the resolver behaves like the many
+	// recursives that strip ECS — the conflation of client and
+	// resolver location the paper critiques — which is also the
+	// control arm of the edge-selection experiment.
+	ForwardECS bool
 
 	mu     sync.Mutex
 	nsSets map[string]*nsSet
@@ -73,7 +80,13 @@ func (r *Resolver) Name() string { return "resolve" }
 
 // ServeDNS implements dnsserver.Plugin: terminal recursive resolution.
 func (r *Resolver) ServeDNS(ctx context.Context, w dnsserver.ResponseWriter, req *dnsserver.Request, _ dnsserver.Handler) (dnswire.Rcode, error) {
-	resp, err := r.Resolve(ctx, req.Name(), req.Type())
+	var ecs *dnswire.ECSOption
+	if r.ForwardECS {
+		if e, ok := req.Msg.ECS(); ok {
+			ecs = e
+		}
+	}
+	resp, err := r.resolve(ctx, req.Name(), req.Type(), ecs)
 	if err != nil {
 		return dnswire.RcodeServerFailure, err
 	}
@@ -89,6 +102,14 @@ func (r *Resolver) ServeDNS(ctx context.Context, w dnsserver.ResponseWriter, req
 // out-of-zone CNAMEs. The returned message aggregates the full alias
 // chain in its answer section, the way a recursive resolver responds.
 func (r *Resolver) Resolve(ctx context.Context, qname string, qtype dnswire.Type) (*dnswire.Message, error) {
+	return r.resolve(ctx, qname, qtype, nil)
+}
+
+// resolve is Resolve with an optional client-subnet disclosure that is
+// forwarded on every content query of the walk (referrals and CNAME
+// hops included — the whole chase is on the client's behalf), but
+// never on infrastructure NS lookups.
+func (r *Resolver) resolve(ctx context.Context, qname string, qtype dnswire.Type, ecs *dnswire.ECSOption) (*dnswire.Message, error) {
 	qname = dnswire.CanonicalName(qname)
 	original := dnswire.Question{Name: qname, Type: qtype, Class: dnswire.ClassINET}
 	var chain []dnswire.RR
@@ -97,7 +118,7 @@ func (r *Resolver) Resolve(ctx context.Context, qname string, qtype dnswire.Type
 		maxCNAME = defaultMaxCNAME
 	}
 	for hop := 0; ; hop++ {
-		resp, err := r.resolveOne(ctx, qname, qtype, 0)
+		resp, err := r.resolveOne(ctx, qname, qtype, 0, ecs)
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +154,7 @@ func (r *Resolver) Resolve(ctx context.Context, qname string, qtype dnswire.Type
 
 // resolveOne walks referrals for a single owner name (no cross-zone
 // CNAME chasing; Resolve handles that).
-func (r *Resolver) resolveOne(ctx context.Context, qname string, qtype dnswire.Type, depth int) (*dnswire.Message, error) {
+func (r *Resolver) resolveOne(ctx context.Context, qname string, qtype dnswire.Type, depth int, ecs *dnswire.ECSOption) (*dnswire.Message, error) {
 	if depth > 4 {
 		return nil, fmt.Errorf("%w: glue recursion for %s", ErrMaxReferrals, qname)
 	}
@@ -146,7 +167,7 @@ func (r *Resolver) resolveOne(ctx context.Context, qname string, qtype dnswire.T
 		maxReferrals = defaultMaxReferrals
 	}
 	for step := 0; step < maxReferrals; step++ {
-		resp, err := r.queryAny(ctx, servers, qname, qtype)
+		resp, err := r.queryAny(ctx, servers, qname, qtype, ecs)
 		if err != nil {
 			return nil, err
 		}
@@ -201,10 +222,12 @@ func (r *Resolver) followReferral(ctx context.Context, resp *dnswire.Message, de
 			addrs = append(addrs, netip.AddrPortFrom(a, 53))
 		}
 	}
-	// Glueless delegation: resolve the NS names themselves.
+	// Glueless delegation: resolve the NS names themselves. These are
+	// infrastructure lookups on the resolver's own behalf, so no
+	// client subnet rides along (RFC 7871 §7.1.2).
 	if len(addrs) == 0 {
 		for _, name := range nsNames {
-			m, err := r.resolveOne(ctx, name, dnswire.TypeA, depth+1)
+			m, err := r.resolveOne(ctx, name, dnswire.TypeA, depth+1, nil)
 			if err != nil {
 				continue
 			}
@@ -221,13 +244,22 @@ func (r *Resolver) followReferral(ctx context.Context, resp *dnswire.Message, de
 	return addrs, zone
 }
 
-// queryAny tries the servers in order until one responds.
-func (r *Resolver) queryAny(ctx context.Context, servers []netip.AddrPort, qname string, qtype dnswire.Type) (*dnswire.Message, error) {
+// queryAny tries the servers in order until one responds, forwarding
+// the client-subnet disclosure when one rides along.
+func (r *Resolver) queryAny(ctx context.Context, servers []netip.AddrPort, qname string, qtype dnswire.Type, ecs *dnswire.ECSOption) (*dnswire.Message, error) {
 	var lastErr error
 	for _, s := range servers {
 		q := new(dnswire.Message)
 		q.SetQuestion(qname, qtype)
 		q.RecursionDesired = false
+		if ecs != nil {
+			// A fresh scope-0 copy: queries MUST carry scope 0
+			// (RFC 7871 §6), whatever the inbound option said.
+			fwd := *ecs
+			fwd.ScopePrefix = 0
+			opt := q.SetEDNS(dnswire.DefaultEDNSSize)
+			opt.Options = append(opt.Options, &fwd)
+		}
 		resp, err := r.Client.Do(ctx, s, q)
 		if err == nil {
 			return resp, nil

@@ -17,6 +17,7 @@ import (
 //	/metrics        Prometheus text exposition of Registry
 //	/healthz        readiness probe (503 while draining)
 //	/health         health-registry snapshot as JSON (404 if unwired)
+//	/routes         subnet→PoP routing-table summary as JSON (404 if unwired)
 //	/querylog       drains the sampled query log as JSON lines
 //	/debug/pprof/   the standard Go profiling handlers
 type Admin struct {
@@ -34,6 +35,9 @@ type Admin struct {
 	// returns 404. Wire it to a health.Registry's Snapshot so
 	// operators can read target states and the watermark switch.
 	Health func() any
+	// Routes backs /routes with a JSON-serializable summary of the
+	// subnet→PoP routing table; nil returns 404.
+	Routes func() any
 
 	mu  sync.Mutex
 	ln  net.Listener
@@ -67,6 +71,16 @@ func (a *Admin) Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(a.Health())
+	})
+	mux.HandleFunc("/routes", func(w http.ResponseWriter, r *http.Request) {
+		if a.Routes == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(a.Routes())
 	})
 	mux.HandleFunc("/querylog", func(w http.ResponseWriter, r *http.Request) {
 		if a.Log == nil {

@@ -34,6 +34,9 @@ func TestAdminEndpoints(t *testing.T) {
 	a := &Admin{Registry: reg, Log: log, Healthy: func() bool { return healthy },
 		Health: func() any {
 			return map[string]any{"fallback_active": true}
+		},
+		Routes: func() any {
+			return map[string]any{"rows": 3}
 		}}
 	ts := httptest.NewServer(a.Handler())
 	defer ts.Close()
@@ -76,6 +79,11 @@ func TestAdminEndpoints(t *testing.T) {
 		t.Errorf("/health content-type = %q", ct)
 	}
 
+	code, body, _ = getBody(t, ts, "/routes")
+	if code != http.StatusOK || !strings.Contains(body, `"rows": 3`) {
+		t.Errorf("/routes = %d %q", code, body)
+	}
+
 	code, body, _ = getBody(t, ts, "/debug/pprof/")
 	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ = %d", code)
@@ -91,6 +99,9 @@ func TestAdminNilLogAndRegistry(t *testing.T) {
 	}
 	if code, _, _ := getBody(t, ts, "/health"); code != http.StatusNotFound {
 		t.Errorf("/health with nil snapshot fn = %d, want 404", code)
+	}
+	if code, _, _ := getBody(t, ts, "/routes"); code != http.StatusNotFound {
+		t.Errorf("/routes with nil fn = %d, want 404", code)
 	}
 	if code, body, _ := getBody(t, ts, "/metrics"); code != http.StatusOK || body != "" {
 		t.Errorf("/metrics with nil registry = %d %q", code, body)

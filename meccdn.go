@@ -27,8 +27,11 @@
 package meccdn
 
 import (
+	"io"
+
 	"github.com/meccdn/meccdn/internal/cdn"
 	"github.com/meccdn/meccdn/internal/geoip"
+	"github.com/meccdn/meccdn/internal/lpm"
 	"github.com/meccdn/meccdn/internal/lte"
 	"github.com/meccdn/meccdn/internal/meccdn"
 	"github.com/meccdn/meccdn/internal/mobility"
@@ -114,6 +117,25 @@ type (
 	// Tier is a CDN hierarchy level.
 	Tier = cdn.Tier
 )
+
+// Subnet→PoP routing types: the ECS-scoped LPM table the C-DNS
+// consults before policy routing (see DESIGN.md "Subnet routing").
+type (
+	// RouteTable is an immutable longest-prefix-match table mapping
+	// client subnets to PoP IDs; install on a Router with SetRoutes.
+	RouteTable = lpm.Table
+	// RouteBuilder accumulates prefix→PoP rows for a RouteTable.
+	RouteBuilder = lpm.Builder
+	// PoP identifies a point of presence in a RouteTable.
+	PoP = lpm.PoP
+)
+
+// NewRouteBuilder returns an empty RouteBuilder.
+func NewRouteBuilder() *RouteBuilder { return lpm.NewBuilder() }
+
+// ParseRoutes reads a routes file ("prefix popID" per line, #
+// comments) into a RouteTable.
+func ParseRoutes(r io.Reader) (*RouteTable, error) { return lpm.ParseRoutes(r) }
 
 // CDN tiers.
 const (
