@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all ci build test race vet bench bench-json experiments examples cover clean
+.PHONY: all ci build test race vet bench bench-json mutexprofile experiments examples cover clean
 
 all: vet test race build
 
@@ -40,14 +40,23 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Archive the serve-path benchmarks as JSON: name, ns/op, allocs/op,
-# averaged over -count=5 runs. BENCH_pr7.json adds the subnet→PoP
-# LPM lookup at 10k/100k/1M rows (the tentpole gate: sub-µs and
-# allocation-free at a million routes) on top of the PR-6 hit-path,
-# batching, multi-socket, and routing numbers kept for continuity.
+# averaged over -count=5 runs. BENCH_pr8.json adds the lock-free
+# read-plane pair (snapshot vs RWMutex zone lookup and stub match, at
+# -cpu 1 and 4 to expose reader-side cache-line contention) on top of
+# the PR-7 LPM and PR-6 hit-path, batching, multi-socket, and routing
+# numbers kept for continuity.
 bench-json:
-	$(GO) test -run xxx -bench='ServeUDPHit|ServeUDPBatch|DNSMessageCache$$|ServeUDPParallelSockets|RouterWithRegistry|RouterPolicyAvailability|LPMLookup' -benchmem -count=5 . \
-		| tee bench_output.txt | $(GO) run ./cmd/benchjson > BENCH_pr7.json
-	cat BENCH_pr7.json
+	( $(GO) test -run xxx -bench='ServeUDPHit|ServeUDPBatch|DNSMessageCache$$|ServeUDPParallelSockets|RouterWithRegistry|RouterPolicyAvailability|LPMLookup' -benchmem -count=5 . ; \
+	  $(GO) test -run xxx -bench='ZoneLookupParallel|StubMatchParallel' -benchmem -count=5 -cpu 1,4 ./internal/dnsserver/ ) \
+		| $(GO) run ./cmd/benchjson > BENCH_pr8.json
+	cat BENCH_pr8.json
+
+# Smoke-check that the serve path takes no zone/stub/ACL/router locks:
+# mutex-profile the read plane under writer churn and fail on any
+# read-path frame in the profile.
+mutexprofile:
+	$(GO) test -run 'TestServePathMutexFree' -v ./internal/dnsserver/
+	$(GO) test -run 'TestRouterServePathMutexFree' -v ./internal/cdn/
 
 # Regenerate every table and figure from the paper.
 experiments:

@@ -35,10 +35,18 @@
 //
 // -admin starts a side HTTP listener with /metrics (Prometheus text),
 // /healthz (503 while draining), /health (upstream health JSON),
-// /routes (subnet-table summary), /querylog (sampled JSON-lines
-// trace, rate set by -qlog-sample) and /debug/pprof. On
-// SIGTERM/SIGINT the server drains: it stops accepting, waits up to
-// -drain for in-flight queries, then prints the session's stats.
+// /routes (subnet-table summary), /reload (POST: online config
+// reload), /querylog (sampled JSON-lines trace, rate set by
+// -qlog-sample) and /debug/pprof. On SIGTERM/SIGINT the server
+// drains: it stops accepting, waits up to -drain for in-flight
+// queries, then prints the session's stats.
+//
+// SIGHUP (or POST /reload) re-parses every -zone file and the -routes
+// file and atomically swaps the serving snapshots: zones keep their
+// identity (so IXFR delta journals accumulate across reloads, with
+// the SOA serial adopted from the file when it advanced, else bumped)
+// and not a single in-flight query is dropped or blocked — readers
+// finish on the old snapshot while new queries see the new one.
 package main
 
 import (
@@ -51,6 +59,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -159,14 +168,104 @@ type serverConfig struct {
 
 // daemon is the assembled-but-not-started server process.
 type daemon struct {
-	srv     *meccdn.DNSServer
-	metrics *meccdn.DNSMetrics
-	cache   *meccdn.DNSCache
-	hub     *meccdn.Telemetry
-	admin   *meccdn.TelemetryAdmin // nil unless -admin was given
-	health  *meccdn.HealthRegistry // nil unless -probe-interval was given
-	checker *meccdn.HealthChecker  // probe loop feeding health
-	router  *meccdn.Router         // nil unless -cdn-domain was given
+	srv      *meccdn.DNSServer
+	metrics  *meccdn.DNSMetrics
+	cache    *meccdn.DNSCache
+	hub      *meccdn.Telemetry
+	admin    *meccdn.TelemetryAdmin // nil unless -admin was given
+	health   *meccdn.HealthRegistry // nil unless -probe-interval was given
+	checker  *meccdn.HealthChecker  // probe loop feeding health
+	router   *meccdn.Router         // nil unless -cdn-domain was given
+	reloader *reloader              // nil when nothing is reloadable
+}
+
+// zoneSource ties a served zone to the file it was parsed from, so a
+// reload can re-parse the file and swap the records into the same
+// *Zone (preserving identity, and with it the IXFR delta journal).
+type zoneSource struct {
+	zone *meccdn.Zone
+	path string
+}
+
+// reloader re-reads the zone and routes files and publishes the new
+// snapshots in place. Serving never pauses: in-flight queries finish
+// on the old snapshots, new ones see the new — the same copy-on-write
+// publish every mutation path uses, just driven from files.
+type reloader struct {
+	mu         sync.Mutex // one reload at a time (SIGHUP vs /reload)
+	zones      []zoneSource
+	routesPath string
+	router     *meccdn.Router
+	cache      *meccdn.DNSCache // flushed after a successful swap
+
+	total      *meccdn.TelemetryCounterVec
+	zoneSwaps  *meccdn.TelemetryCounter
+	routeSwaps *meccdn.TelemetryCounter
+}
+
+func newReloader(zones []zoneSource, routesPath string, router *meccdn.Router, cache *meccdn.DNSCache) *reloader {
+	return &reloader{
+		zones:      zones,
+		routesPath: routesPath,
+		router:     router,
+		cache:      cache,
+		total: meccdn.NewTelemetryCounterVec("meccdn_reload_total",
+			"Online reloads (SIGHUP or admin /reload) by result.", "result"),
+		zoneSwaps: meccdn.NewTelemetryCounter("meccdn_reload_zone_swaps_total",
+			"Zone snapshots republished by online reloads."),
+		routeSwaps: meccdn.NewTelemetryCounter("meccdn_reload_route_swaps_total",
+			"Subnet→PoP route tables republished by online reloads."),
+	}
+}
+
+// collectors returns the reload metric families for registration.
+func (r *reloader) collectors() []meccdn.TelemetryCollector {
+	return []meccdn.TelemetryCollector{r.total, r.zoneSwaps, r.routeSwaps}
+}
+
+// reload re-parses every tracked file and swaps the snapshots. Files
+// are applied as they parse; the first error aborts (already-applied
+// swaps stay — each swap is individually consistent).
+func (r *reloader) reload() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, zs := range r.zones {
+		f, err := os.Open(zs.path)
+		if err != nil {
+			r.total.Inc("error")
+			return err
+		}
+		parsed, err := meccdn.ParseZone(zs.zone.Origin, f)
+		f.Close()
+		if err != nil {
+			r.total.Inc("error")
+			return fmt.Errorf("reloading %s: %w", zs.path, err)
+		}
+		zs.zone.Replace(parsed)
+		r.zoneSwaps.Inc()
+	}
+	if r.routesPath != "" && r.router != nil {
+		f, err := os.Open(r.routesPath)
+		if err != nil {
+			r.total.Inc("error")
+			return err
+		}
+		table, err := meccdn.ParseRoutes(f)
+		f.Close()
+		if err != nil {
+			r.total.Inc("error")
+			return fmt.Errorf("reloading %s: %w", r.routesPath, err)
+		}
+		r.router.SetRoutes(table)
+		r.routeSwaps.Inc()
+	}
+	// Answers cached before the swap may cite replaced records; drop
+	// them so clients converge on the new data immediately.
+	if r.cache != nil {
+		r.cache.Flush()
+	}
+	r.total.Inc("ok")
+	return nil
 }
 
 func run(cfg serverConfig) error {
@@ -190,13 +289,28 @@ func run(cfg serverConfig) error {
 			return err
 		}
 		defer d.admin.Close()
-		fmt.Printf("admin endpoint on http://%v (/metrics /healthz /health /routes /querylog /debug/pprof)\n", d.admin.LocalAddr())
+		fmt.Printf("admin endpoint on http://%v (/metrics /healthz /health /routes /reload /querylog /debug/pprof)\n", d.admin.LocalAddr())
 	}
-	fmt.Printf("dnsd listening on %v (UDP+TCP); Ctrl-C to stop\n", d.srv.LocalAddr())
+	fmt.Printf("dnsd listening on %v (UDP+TCP); Ctrl-C to stop, SIGHUP to reload\n", d.srv.LocalAddr())
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for s := range sig {
+		if s != syscall.SIGHUP {
+			break
+		}
+		// Online reload: re-parse the zone/routes files and swap the
+		// serving snapshots; queries keep flowing throughout.
+		if d.reloader == nil {
+			fmt.Println("SIGHUP: nothing reloadable (no -zone/-routes files)")
+			continue
+		}
+		if err := d.reloader.reload(); err != nil {
+			fmt.Printf("SIGHUP reload failed: %v\n", err)
+		} else {
+			fmt.Println("SIGHUP: configuration reloaded")
+		}
+	}
 
 	// Graceful drain: stop accepting, give in-flight queries a bounded
 	// window to finish, then report what the process saw.
@@ -267,6 +381,7 @@ func build(cfg serverConfig) (*daemon, error) {
 		plugins = append(plugins, stub)
 	}
 
+	var zoneSources []zoneSource
 	if len(cfg.zones) > 0 {
 		zp := meccdn.NewZonePlugin()
 		for _, z := range cfg.zones {
@@ -284,6 +399,7 @@ func build(cfg serverConfig) (*daemon, error) {
 				return nil, err
 			}
 			zp.AddZone(zone)
+			zoneSources = append(zoneSources, zoneSource{zone: zone, path: path})
 			fmt.Printf("authoritative for %s (%d names)\n", zone.Origin, len(zone.Names()))
 		}
 		plugins = append(plugins, zp)
@@ -412,6 +528,12 @@ func build(cfg serverConfig) (*daemon, error) {
 		return nil, err
 	}
 	d := &daemon{srv: srv, metrics: metrics, cache: cache, hub: hub, health: reg, router: router}
+	if len(zoneSources) > 0 || cfg.routes != "" {
+		d.reloader = newReloader(zoneSources, cfg.routes, router, cache)
+		if err := hub.Registry.Register(d.reloader.collectors()...); err != nil {
+			return nil, err
+		}
+	}
 	if reg != nil {
 		// Probe goroutines drain with the server; ingress load is the
 		// UDP queue's fill fraction.
@@ -445,6 +567,9 @@ func build(cfg serverConfig) (*daemon, error) {
 					"spans":   t.Spans(),
 				}
 			}
+		}
+		if d.reloader != nil {
+			d.admin.Reload = d.reloader.reload
 		}
 	}
 	return d, nil

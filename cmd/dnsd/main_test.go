@@ -2,10 +2,15 @@ package main
 
 import (
 	"context"
+	"io"
+	"net/http"
 	"net/netip"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -263,5 +268,147 @@ func TestBuildRoutesRequireCDNDomain(t *testing.T) {
 	}
 	if _, err := build(serverConfig{listen: ":0", cdnDomain: "d.test.", routes: "/no/such/file"}); err == nil {
 		t.Error("missing routes file accepted")
+	}
+}
+
+// TestReloadUnderLoad drives the online-reload path end to end: zone
+// file rewritten on disk, swapped in via the reloader (the SIGHUP
+// path) and via the admin /reload endpoint, while concurrent clients
+// resolve against the server the whole time. No query may drop or
+// fail across the swaps.
+func TestReloadUnderLoad(t *testing.T) {
+	zonePath := writeZoneFile(t, `
+@ 3600 IN SOA ns hostmaster 1 7200 3600 1209600 300
+www 60 IN A 192.0.2.88
+`)
+	d, err := build(serverConfig{
+		listen: "127.0.0.1:0",
+		admin:  "127.0.0.1:0",
+		zones:  []string{"dnsd.test.=" + zonePath},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.reloader == nil {
+		t.Fatal("no reloader built for a file-backed zone")
+	}
+	if err := d.srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.srv.Close()
+	if err := d.admin.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.admin.Close()
+
+	// Continuous query load across every swap below.
+	var (
+		stop     atomic.Bool
+		dropped  atomic.Uint64
+		resolved atomic.Uint64
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &meccdn.Client{Transport: &meccdn.NetTransport{}, Timeout: 2 * time.Second}
+			for !stop.Load() {
+				resp, err := client.Query(context.Background(), d.srv.LocalAddr(), "www.dnsd.test.", meccdn.TypeA)
+				if err != nil || resp.Rcode != meccdn.RcodeSuccess || len(resp.Answers) == 0 {
+					dropped.Add(1)
+					continue
+				}
+				resolved.Add(1)
+			}
+		}()
+	}
+
+	// SIGHUP path: rewrite the file and invoke the reloader directly
+	// (run() calls exactly this on SIGHUP).
+	if err := os.WriteFile(zonePath, []byte(`
+@ 3600 IN SOA ns hostmaster 2 7200 3600 1209600 300
+www 60 IN A 192.0.2.99
+v2  60 IN A 192.0.2.2
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.reloader.reload(); err != nil {
+		t.Fatal(err)
+	}
+	client := &meccdn.Client{Transport: &meccdn.NetTransport{}, Timeout: 2 * time.Second}
+	resp, err := client.Query(context.Background(), d.srv.LocalAddr(), "www.dnsd.test.", meccdn.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].(*meccdn.A).Addr.String() != "192.0.2.99" {
+		t.Errorf("post-reload answers = %v, want 192.0.2.99", resp.Answers)
+	}
+
+	// Admin path: rewrite again and POST /reload.
+	if err := os.WriteFile(zonePath, []byte(`
+@ 3600 IN SOA ns hostmaster 3 7200 3600 1209600 300
+www 60 IN A 192.0.2.100
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reloadURL := "http://" + d.admin.LocalAddr().String() + "/reload"
+	hresp, err := http.Post(reloadURL, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("POST /reload status = %d", hresp.StatusCode)
+	}
+	resp, err = client.Query(context.Background(), d.srv.LocalAddr(), "www.dnsd.test.", meccdn.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].(*meccdn.A).Addr.String() != "192.0.2.100" {
+		t.Errorf("post-/reload answers = %v, want 192.0.2.100", resp.Answers)
+	}
+
+	stop.Store(true)
+	wg.Wait()
+	if n := dropped.Load(); n != 0 {
+		t.Errorf("%d queries dropped across reloads", n)
+	}
+	if resolved.Load() == 0 {
+		t.Error("no queries resolved under load")
+	}
+
+	// GET is rejected; a broken file fails the reload but leaves the
+	// published zone serving.
+	if hresp, err = http.Get(reloadURL); err != nil {
+		t.Fatal(err)
+	} else {
+		hresp.Body.Close()
+		if hresp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /reload status = %d, want 405", hresp.StatusCode)
+		}
+	}
+	if err := os.WriteFile(zonePath, []byte("not a zone file ???"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.reloader.reload(); err == nil {
+		t.Error("reload of a broken zone file succeeded")
+	}
+	resp, err = client.Query(context.Background(), d.srv.LocalAddr(), "www.dnsd.test.", meccdn.TypeA)
+	if err != nil || len(resp.Answers) != 1 {
+		t.Errorf("zone not serving after failed reload: %v %v", resp.Answers, err)
+	}
+
+	// The reload metric families are exposed on /metrics.
+	mresp, err := http.Get("http://" + d.admin.LocalAddr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, family := range []string{"meccdn_reload_total", "meccdn_reload_zone_swaps_total"} {
+		if !strings.Contains(string(body), family) {
+			t.Errorf("/metrics missing %s", family)
+		}
 	}
 }

@@ -84,6 +84,13 @@ type (
 	ResponseWriter = dnsserver.ResponseWriter
 	// Zone is an in-memory authoritative zone.
 	Zone = dnsserver.Zone
+	// ZoneView is one immutable published snapshot of a zone's
+	// record set; queries resolve against a view, never a lock.
+	ZoneView = dnsserver.ZoneView
+	// ZoneBuilder batches zone mutations into one atomic publish.
+	ZoneBuilder = dnsserver.ZoneBuilder
+	// ZoneDelta is one zone revision in the IXFR journal.
+	ZoneDelta = dnsserver.ZoneDelta
 	// ZonePlugin serves authoritative answers from zones.
 	ZonePlugin = dnsserver.ZonePlugin
 	// DNSCache is a sharded TTL-honouring response cache plugin with
@@ -158,6 +165,10 @@ var NewAXFR = dnsserver.NewAXFR
 // ZoneFromTransfer rebuilds a secondary zone from AXFR records.
 var ZoneFromTransfer = dnsserver.ZoneFromTransfer
 
+// ApplyTransfer applies an AXFR or IXFR response to a secondary zone,
+// classifying it per RFC 1995 (up-to-date, incremental, or full).
+var ApplyTransfer = dnsserver.ApplyTransfer
+
 // NewResolver builds a recursive resolver rooted at the given servers.
 var NewResolver = resolver.New
 
@@ -188,7 +199,21 @@ type (
 	Span = telemetry.Span
 	// QueryLog is the bounded ring of sampled query records.
 	QueryLog = telemetry.QueryLog
+	// TelemetryCounter is a single lock-free cumulative counter.
+	TelemetryCounter = telemetry.Counter
+	// TelemetryCounterVec is a labelled family of counters.
+	TelemetryCounterVec = telemetry.CounterVec
 )
+
+// NewTelemetryCounter returns a registerable counter family of one.
+func NewTelemetryCounter(name, help string) *TelemetryCounter {
+	return telemetry.NewCounter(name, help)
+}
+
+// NewTelemetryCounterVec returns a labelled counter family.
+func NewTelemetryCounterVec(name, help string, labels ...string) *TelemetryCounterVec {
+	return telemetry.NewCounterVec(name, help, labels...)
+}
 
 // Health control plane: active probers scoring targets, a per-target
 // hysteresis state machine, and the ingress-load fallback switch.

@@ -5,7 +5,18 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
+
+// ringState is one immutable revision of the ring: the sorted virtual
+// node points and the member set. Published via atomic pointer so the
+// per-query Owners walk never locks.
+type ringState struct {
+	ring    []ringPoint
+	members map[string]bool
+}
+
+var emptyRingState = &ringState{}
 
 // HashRing is a consistent-hash ring assigning content names to cache
 // servers, the placement scheme CDNs use so that adding or removing a
@@ -16,9 +27,9 @@ type HashRing struct {
 	// values smooth the distribution. Zero means 256.
 	Replicas int
 
-	mu      sync.RWMutex
-	ring    []ringPoint
-	members map[string]bool
+	state atomic.Pointer[ringState]
+	// wmu serializes Add/Remove; Owners/Members never take it.
+	wmu sync.Mutex
 }
 
 type ringPoint struct {
@@ -28,7 +39,15 @@ type ringPoint struct {
 
 // NewHashRing returns an empty ring.
 func NewHashRing() *HashRing {
-	return &HashRing{members: make(map[string]bool)}
+	return &HashRing{}
+}
+
+// snapshot returns the current ring revision, never nil.
+func (r *HashRing) snapshot() *ringState {
+	if s := r.state.Load(); s != nil {
+		return s
+	}
+	return emptyRingState
 }
 
 func hash64(s string) uint64 {
@@ -39,40 +58,58 @@ func hash64(s string) uint64 {
 
 // Add inserts a member (idempotent).
 func (r *HashRing) Add(member string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.members[member] {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	old := r.snapshot()
+	if old.members[member] {
 		return
 	}
-	r.members[member] = true
 	replicas := r.Replicas
 	if replicas <= 0 {
 		replicas = 256
 	}
+	next := &ringState{
+		ring:    make([]ringPoint, 0, len(old.ring)+replicas),
+		members: make(map[string]bool, len(old.members)+1),
+	}
+	next.ring = append(next.ring, old.ring...)
+	for m := range old.members {
+		next.members[m] = true
+	}
+	next.members[member] = true
 	for i := 0; i < replicas; i++ {
-		r.ring = append(r.ring, ringPoint{
+		next.ring = append(next.ring, ringPoint{
 			hash:   hash64(fmt.Sprintf("%s#%d", member, i)),
 			member: member,
 		})
 	}
-	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].hash < r.ring[j].hash })
+	sort.Slice(next.ring, func(i, j int) bool { return next.ring[i].hash < next.ring[j].hash })
+	r.state.Store(next)
 }
 
 // Remove deletes a member and all its virtual nodes.
 func (r *HashRing) Remove(member string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if !r.members[member] {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	old := r.snapshot()
+	if !old.members[member] {
 		return
 	}
-	delete(r.members, member)
-	kept := r.ring[:0]
-	for _, p := range r.ring {
-		if p.member != member {
-			kept = append(kept, p)
+	next := &ringState{
+		ring:    make([]ringPoint, 0, len(old.ring)),
+		members: make(map[string]bool, len(old.members)),
+	}
+	for m := range old.members {
+		if m != member {
+			next.members[m] = true
 		}
 	}
-	r.ring = kept
+	for _, p := range old.ring {
+		if p.member != member {
+			next.ring = append(next.ring, p)
+		}
+	}
+	r.state.Store(next)
 }
 
 // Owner returns the member owning key, or "" on an empty ring.
@@ -86,22 +123,21 @@ func (r *HashRing) Owner(key string) string {
 
 // Owners returns up to n distinct members responsible for key, in
 // ring order: the primary first, then the replicas that take over if
-// predecessors fail.
+// predecessors fail. Lock-free: one snapshot load per call.
 func (r *HashRing) Owners(key string, n int) []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if len(r.ring) == 0 || n <= 0 {
+	s := r.snapshot()
+	if len(s.ring) == 0 || n <= 0 {
 		return nil
 	}
-	if n > len(r.members) {
-		n = len(r.members)
+	if n > len(s.members) {
+		n = len(s.members)
 	}
 	h := hash64(key)
-	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	i := sort.Search(len(s.ring), func(i int) bool { return s.ring[i].hash >= h })
 	var out []string
 	seen := make(map[string]bool, n)
 	for len(out) < n {
-		p := r.ring[i%len(r.ring)]
+		p := s.ring[i%len(s.ring)]
 		if !seen[p.member] {
 			seen[p.member] = true
 			out = append(out, p.member)
@@ -113,10 +149,9 @@ func (r *HashRing) Owners(key string, n int) []string {
 
 // Members returns the current members, sorted.
 func (r *HashRing) Members() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.members))
-	for m := range r.members {
+	s := r.snapshot()
+	out := make([]string, 0, len(s.members))
+	for m := range s.members {
 		out = append(out, m)
 	}
 	sort.Strings(out)

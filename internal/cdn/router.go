@@ -109,8 +109,7 @@ func (GeoNearest) Select(candidates []*ServerInfo, key string, client ClientInfo
 // baseline whose ignorance of content placement disaggregates
 // requests (the paper's Observation 2).
 type RoundRobin struct {
-	mu sync.Mutex
-	n  uint64
+	n atomic.Uint64
 }
 
 // Name implements SelectionPolicy.
@@ -118,11 +117,7 @@ func (*RoundRobin) Name() string { return "round-robin" }
 
 // Select implements SelectionPolicy.
 func (r *RoundRobin) Select(candidates []*ServerInfo, _ string, _ ClientInfo) *ServerInfo {
-	r.mu.Lock()
-	i := r.n % uint64(len(candidates))
-	r.n++
-	r.mu.Unlock()
-	return candidates[i]
+	return candidates[(r.n.Add(1)-1)%uint64(len(candidates))]
 }
 
 // LeastLoaded picks the candidate with the fewest requests in its
@@ -176,11 +171,13 @@ type Router struct {
 	// behaviour (CacheServer.Healthy alone).
 	Health *health.Registry
 
-	mu      sync.RWMutex
-	servers map[string]*ServerInfo
-	// pops maps PoP IDs from the subnet table to their answer targets;
-	// guarded by mu.
-	pops map[lpm.PoP]popTarget
+	// state is the immutable server/PoP registry snapshot, published
+	// via atomic pointer: candidate selection and PoP resolution load
+	// it once per query and never lock.
+	state atomic.Pointer[routerState]
+	// wmu serializes registry writers (AddServer, RemoveServer,
+	// MapPoP, BindPoP, health transitions); readers never take it.
+	wmu sync.Mutex
 
 	// subnets is the ECS-driven subnet→PoP routing table, consulted
 	// before the policy path. Swapped atomically so a reload never
@@ -190,6 +187,44 @@ type Router struct {
 	ctrOnce  sync.Once
 	routed   *telemetry.CounterVec
 	routeCtr *telemetry.CounterVec
+}
+
+// routerState is one immutable revision of the router's registry: the
+// cache servers and the PoP→target bindings. Writers copy, mutate the
+// copy, and publish; the maps in a published state are never written
+// again.
+type routerState struct {
+	servers map[string]*ServerInfo
+	pops    map[lpm.PoP]popTarget
+}
+
+// emptyRouterState backs routers built as plain struct literals.
+var emptyRouterState = &routerState{}
+
+// snapshot returns the current registry revision, never nil.
+func (rt *Router) snapshot() *routerState {
+	if s := rt.state.Load(); s != nil {
+		return s
+	}
+	return emptyRouterState
+}
+
+// updateState copies the current registry, applies fn, publishes.
+// Callers must hold rt.wmu.
+func (rt *Router) updateState(fn func(*routerState)) {
+	old := rt.snapshot()
+	next := &routerState{
+		servers: make(map[string]*ServerInfo, len(old.servers)+1),
+		pops:    make(map[lpm.PoP]popTarget, len(old.pops)+1),
+	}
+	for n, s := range old.servers {
+		next.servers[n] = s
+	}
+	for p, t := range old.pops {
+		next.pops[p] = t
+	}
+	fn(next)
+	rt.state.Store(next)
 }
 
 // popTarget is where a PoP's traffic goes: a registered cache server
@@ -224,9 +259,7 @@ func (rt *Router) Collectors() []telemetry.Collector {
 		telemetry.NewGaugeFunc("meccdn_cdn_servers",
 			"Cache servers currently registered with the C-DNS router.",
 			func() float64 {
-				rt.mu.RLock()
-				defer rt.mu.RUnlock()
-				return float64(len(rt.servers))
+				return float64(len(rt.snapshot().servers))
 			}),
 		telemetry.NewGaugeFunc("meccdn_route_rows",
 			"Rows in the installed subnet→PoP routing table (0 when none).",
@@ -254,14 +287,13 @@ func (rt *Router) Routes() *lpm.Table { return rt.subnets.Load() }
 // -pop): the PoP's edge address is configuration, not a registered
 // CacheServer.
 func (rt *Router) MapPoP(pop lpm.PoP, addr netip.Addr) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if rt.pops == nil {
-		rt.pops = make(map[lpm.PoP]popTarget)
-	}
-	tgt := rt.pops[pop]
-	tgt.addr = addr
-	rt.pops[pop] = tgt
+	rt.wmu.Lock()
+	defer rt.wmu.Unlock()
+	rt.updateState(func(s *routerState) {
+		tgt := s.pops[pop]
+		tgt.addr = addr
+		s.pops[pop] = tgt
+	})
 }
 
 // BindPoP routes pop's traffic to a registered cache server by name:
@@ -270,14 +302,13 @@ func (rt *Router) MapPoP(pop lpm.PoP, addr netip.Addr) {
 // static address serves as fallback while the server is unregistered
 // or unroutable.
 func (rt *Router) BindPoP(pop lpm.PoP, server string) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if rt.pops == nil {
-		rt.pops = make(map[lpm.PoP]popTarget)
-	}
-	tgt := rt.pops[pop]
-	tgt.server = server
-	rt.pops[pop] = tgt
+	rt.wmu.Lock()
+	defer rt.wmu.Unlock()
+	rt.updateState(func(s *routerState) {
+		tgt := s.pops[pop]
+		tgt.server = server
+		s.pops[pop] = tgt
+	})
 }
 
 // subnetRoute consults the subnet→PoP table for the client's
@@ -319,16 +350,16 @@ func (rt *Router) subnetRoute(client ClientInfo) (netip.Addr, int, bool) {
 // popAnswer resolves a PoP to the address to publish. A bound server
 // wins while it is registered, flagged healthy, and — with a health
 // registry attached — routable per the probe verdicts; otherwise the
-// static MapPoP address, if any, takes over.
+// static MapPoP address, if any, takes over. Lock-free: one snapshot
+// load.
 func (rt *Router) popAnswer(pop lpm.PoP) (netip.Addr, bool) {
-	rt.mu.RLock()
-	defer rt.mu.RUnlock()
-	tgt, ok := rt.pops[pop]
+	st := rt.snapshot()
+	tgt, ok := st.pops[pop]
 	if !ok {
 		return netip.Addr{}, false
 	}
 	if tgt.server != "" {
-		if s := rt.servers[tgt.server]; s != nil && s.Server.Healthy() {
+		if s := st.servers[tgt.server]; s != nil && s.Server.Healthy() {
 			routable := true
 			if rt.Health != nil {
 				routable, _ = rt.Health.Eligible(tgt.server)
@@ -347,9 +378,8 @@ func (rt *Router) popAnswer(pop lpm.PoP) (netip.Addr, bool) {
 // NewRouter returns a router for domain.
 func NewRouter(domain string) *Router {
 	return &Router{
-		Domain:  canonicalDomain(domain),
-		Ring:    NewHashRing(),
-		servers: make(map[string]*ServerInfo),
+		Domain: canonicalDomain(domain),
+		Ring:   NewHashRing(),
 	}
 }
 
@@ -361,16 +391,16 @@ func NewRouter(domain string) *Router {
 // registry's ingress-load watermark switch diverts queries to the
 // parent tier. Call before AddServer.
 func (rt *Router) UseHealth(reg *health.Registry) {
-	rt.mu.Lock()
+	rt.wmu.Lock()
 	rt.Health = reg
-	rt.mu.Unlock()
+	rt.wmu.Unlock()
 	reg.OnTransition(func(name string, _, to State) {
 		// The listener runs without the registry lock held, so taking
-		// the router lock here cannot invert Route's rt.mu → registry
-		// ordering.
-		rt.mu.Lock()
-		defer rt.mu.Unlock()
-		if _, tracked := rt.servers[name]; !tracked {
+		// the writer lock here cannot invert the serve path's
+		// registry-consulting order (readers never take wmu).
+		rt.wmu.Lock()
+		defer rt.wmu.Unlock()
+		if _, tracked := rt.snapshot().servers[name]; !tracked {
 			return
 		}
 		if to.Routable() {
@@ -396,9 +426,11 @@ func (rt *Router) AddServer(s *CacheServer, loc geoip.Location) {
 // probing and joins the hash ring only after its first successful
 // probe; without one it is instantly routable, as before.
 func (rt *Router) AddServerAdvertise(s *CacheServer, loc geoip.Location, advertise netip.Addr) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	rt.servers[s.Name] = &ServerInfo{Server: s, Location: loc, Advertise: advertise}
+	rt.wmu.Lock()
+	defer rt.wmu.Unlock()
+	rt.updateState(func(st *routerState) {
+		st.servers[s.Name] = &ServerInfo{Server: s, Location: loc, Advertise: advertise}
+	})
 	if rt.Health == nil {
 		rt.Ring.Add(s.Name)
 		return
@@ -412,9 +444,11 @@ func (rt *Router) AddServerAdvertise(s *CacheServer, loc geoip.Location, adverti
 
 // RemoveServer deregisters a server (scale-down or failure).
 func (rt *Router) RemoveServer(name string) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	delete(rt.servers, name)
+	rt.wmu.Lock()
+	defer rt.wmu.Unlock()
+	rt.updateState(func(st *routerState) {
+		delete(st.servers, name)
+	})
 	rt.Ring.Remove(name)
 	if rt.Health != nil {
 		rt.Health.Remove(name)
@@ -423,10 +457,9 @@ func (rt *Router) RemoveServer(name string) {
 
 // Servers returns the registered server names, sorted.
 func (rt *Router) Servers() []string {
-	rt.mu.RLock()
-	defer rt.mu.RUnlock()
-	names := make([]string, 0, len(rt.servers))
-	for n := range rt.servers {
+	st := rt.snapshot()
+	names := make([]string, 0, len(st.servers))
+	for n := range st.servers {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -595,9 +628,8 @@ func Referral(m *dnswire.Message) (netip.Addr, bool) {
 // ones — an all-degraded set still serves best-effort rather than
 // failing over.
 func (rt *Router) Route(key string, client ClientInfo) *ServerInfo {
-	rt.mu.RLock()
-	defer rt.mu.RUnlock()
-	if len(rt.servers) == 0 {
+	st := rt.snapshot()
+	if len(st.servers) == 0 {
 		return nil
 	}
 	replicas := rt.Replicas
@@ -606,7 +638,7 @@ func (rt *Router) Route(key string, client ClientInfo) *ServerInfo {
 	}
 	var preferred, degraded []*ServerInfo
 	consider := func(name string) {
-		s := rt.servers[name]
+		s := st.servers[name]
 		if s == nil || !s.Server.Healthy() {
 			return
 		}
@@ -629,8 +661,8 @@ func (rt *Router) Route(key string, client ClientInfo) *ServerInfo {
 	if len(preferred) == 0 && len(degraded) == 0 {
 		// All ring owners are down: fall back to any healthy server,
 		// iterated in sorted order for determinism.
-		names := make([]string, 0, len(rt.servers))
-		for n := range rt.servers {
+		names := make([]string, 0, len(st.servers))
+		for n := range st.servers {
 			names = append(names, n)
 		}
 		sort.Strings(names)

@@ -179,6 +179,47 @@ func (c *Client) Transfer(ctx context.Context, server netip.AddrPort, zone strin
 	return resp.Answers, nil
 }
 
+// TransferFrom performs an incremental zone transfer (IXFR, RFC 1995)
+// over the stream transport: the query carries the caller's current
+// SOA serial in the authority section, and the server answers with
+// either the revision deltas since that serial, a lone SOA (caller is
+// already current), or a full AXFR-style record set when its delta
+// journal no longer reaches that far back. The raw answer records are
+// returned for dnsserver.ApplyTransfer to classify and apply.
+func (c *Client) TransferFrom(ctx context.Context, server netip.AddrPort, zone string, serial uint32) ([]dnswire.RR, error) {
+	if c.Transport == nil {
+		return nil, errors.New("dnsclient: no transport configured")
+	}
+	q := new(dnswire.Message)
+	q.SetQuestion(zone, dnswire.TypeIXFR)
+	q.RecursionDesired = false
+	q.ID = c.newID()
+	// RFC 1995 §3: the client's current SOA rides in the authority
+	// section; only the serial field is meaningful to the server.
+	q.Authorities = []dnswire.RR{&dnswire.SOA{
+		Hdr:    dnswire.RRHeader{Name: dnswire.CanonicalName(zone), Type: dnswire.TypeSOA, Class: dnswire.ClassINET},
+		Serial: serial,
+	}}
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	attemptCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	resp, err := c.exchangeOnce(attemptCtx, server, wire, q, true)
+	if err != nil {
+		return nil, fmt.Errorf("incremental transfer of %s from %v: %w", zone, server, err)
+	}
+	if resp.Rcode != dnswire.RcodeSuccess {
+		return nil, fmt.Errorf("incremental transfer of %s from %v: %s", zone, server, resp.Rcode)
+	}
+	return resp.Answers, nil
+}
+
 func (c *Client) exchangeOnce(ctx context.Context, server netip.AddrPort, wire []byte, q *dnswire.Message, tcp bool) (*dnswire.Message, error) {
 	raw, err := c.Transport.Exchange(ctx, server, wire, tcp)
 	if err != nil {

@@ -4,9 +4,22 @@ import (
 	"context"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 
 	"github.com/meccdn/meccdn/internal/dnswire"
 )
+
+// aclRules is one immutable revision of the ACL's rule set. Readers
+// load it through an atomic pointer and never lock; writers copy the
+// current revision, extend it, and publish the copy.
+type aclRules struct {
+	// allow lists accepted prefixes; empty means allow any source.
+	allow []netip.Prefix
+	// deny lists refused prefixes; checked before allow.
+	deny []netip.Prefix
+	// blockedDomains refuses matching names regardless of source.
+	blockedDomains []string
+}
 
 // ACL gates queries by source prefix and query domain. The paper
 // notes that exposing the orchestrator's internal DNS "increases the
@@ -15,61 +28,92 @@ import (
 // that should never reach a view at all (e.g. internal-zone names
 // arriving from outside the cluster, or abusive prefixes identified
 // by the ingress monitor).
+//
+// The rule set is an RCU snapshot: the per-packet permitted check is
+// a single atomic pointer load with no lock, so rule updates never
+// stall the serve path and the check never contends across sockets.
 type ACL struct {
-	mu sync.RWMutex
-	// allowed prefixes; empty means allow any source.
-	allow []netip.Prefix
-	// denied prefixes; checked before allow.
-	deny []netip.Prefix
-	// blockedDomains refuses matching names regardless of source.
-	blockedDomains []string
+	rules atomic.Pointer[aclRules]
+	// wmu serializes writers; readers never take it.
+	wmu sync.Mutex
 
-	refused uint64
+	refused atomic.Uint64
 }
 
 // NewACL returns an ACL that allows everything.
-func NewACL() *ACL { return &ACL{} }
+func NewACL() *ACL {
+	a := &ACL{}
+	a.rules.Store(&aclRules{})
+	return a
+}
+
+// snapshot returns the current rule revision, tolerating an ACL built
+// as a zero-value struct literal.
+func (a *ACL) snapshot() *aclRules {
+	if r := a.rules.Load(); r != nil {
+		return r
+	}
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	if r := a.rules.Load(); r != nil {
+		return r
+	}
+	r := &aclRules{}
+	a.rules.Store(r)
+	return r
+}
+
+// update copies the current revision, applies fn, and publishes it.
+func (a *ACL) update(fn func(*aclRules)) {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	old := a.rules.Load()
+	if old == nil {
+		old = &aclRules{}
+	}
+	// Full-slice copies: the old revision stays live in concurrent
+	// readers, so appends must never share its backing arrays.
+	next := &aclRules{
+		allow:          append([]netip.Prefix(nil), old.allow...),
+		deny:           append([]netip.Prefix(nil), old.deny...),
+		blockedDomains: append([]string(nil), old.blockedDomains...),
+	}
+	fn(next)
+	a.rules.Store(next)
+}
 
 // Allow restricts accepted sources to the given prefixes (cumulative).
 func (a *ACL) Allow(prefix netip.Prefix) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.allow = append(a.allow, prefix)
+	a.update(func(r *aclRules) { r.allow = append(r.allow, prefix) })
 }
 
 // Deny refuses queries from the prefix even if an Allow matches.
 func (a *ACL) Deny(prefix netip.Prefix) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.deny = append(a.deny, prefix)
+	a.update(func(r *aclRules) { r.deny = append(r.deny, prefix) })
 }
 
 // BlockDomain refuses queries for names at or under domain.
 func (a *ACL) BlockDomain(domain string) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.blockedDomains = append(a.blockedDomains, dnswire.CanonicalName(domain))
+	a.update(func(r *aclRules) {
+		r.blockedDomains = append(r.blockedDomains, dnswire.CanonicalName(domain))
+	})
 }
 
 // Refused reports how many queries the ACL rejected.
-func (a *ACL) Refused() uint64 {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.refused
-}
+func (a *ACL) Refused() uint64 { return a.refused.Load() }
 
-// permitted applies deny → allow → domain rules.
+// permitted applies deny → allow → domain rules against the current
+// snapshot, lock-free.
 func (a *ACL) permitted(src netip.Addr, qname string) bool {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	for _, p := range a.deny {
+	r := a.snapshot()
+	for _, p := range r.deny {
 		if p.Contains(src) {
 			return false
 		}
 	}
-	if len(a.allow) > 0 {
+	if len(r.allow) > 0 {
 		ok := false
-		for _, p := range a.allow {
+		for _, p := range r.allow {
 			if p.Contains(src) {
 				ok = true
 				break
@@ -79,7 +123,7 @@ func (a *ACL) permitted(src netip.Addr, qname string) bool {
 			return false
 		}
 	}
-	for _, d := range a.blockedDomains {
+	for _, d := range r.blockedDomains {
 		if dnswire.IsSubdomain(d, qname) {
 			return false
 		}
@@ -93,9 +137,7 @@ func (a *ACL) Name() string { return "acl" }
 // ServeDNS implements Plugin.
 func (a *ACL) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
 	if !a.permitted(r.Client.Addr(), r.Name()) {
-		a.mu.Lock()
-		a.refused++
-		a.mu.Unlock()
+		a.refused.Add(1)
 		m := new(dnswire.Message)
 		m.SetRcode(r.Msg, dnswire.RcodeRefused)
 		if err := w.WriteMsg(m); err != nil {

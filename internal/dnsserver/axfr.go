@@ -4,24 +4,33 @@ import (
 	"context"
 	"fmt"
 	"net/netip"
-	"sort"
+	"sync"
 
 	"github.com/meccdn/meccdn/internal/dnswire"
+	"github.com/meccdn/meccdn/internal/telemetry"
 )
 
-// AXFR serves zone transfers (RFC 5936) for its registered zones, the
-// replication primitive a multi-site MEC deployment uses to slave the
-// public MEC-CDN namespace between edge sites or to the provider's
-// L-DNS. Transfers are restricted to TCP (per the RFC) and to the
-// allowed source prefixes.
+// AXFR serves zone transfers for its registered zones, the replication
+// primitive a multi-site MEC deployment uses to slave the public
+// MEC-CDN namespace between edge sites or to the provider's L-DNS. It
+// answers both full transfers (AXFR, RFC 5936) and incremental ones
+// (IXFR, RFC 1995): a secondary presents the serial it has, and when
+// the zone's delta journal still covers that serial, only the
+// revisions between the two serials go over the wire instead of the
+// whole record set. Transfers are restricted to TCP and to the allowed
+// source prefixes.
 //
-// Small-zone simplification: the full record set is returned in one
-// DNS message (the RFC permits single-message transfers; the MEC
-// public namespace is small by construction). Oversized zones fail
-// packing rather than silently truncating.
+// Small-zone simplification: the response is returned in one DNS
+// message (the RFCs permit single-message transfers; the MEC public
+// namespace is small by construction). Oversized zones fail packing
+// rather than silently truncating.
 type AXFR struct {
 	zones *ZonePlugin
 	allow []netip.Prefix
+
+	ctrOnce sync.Once
+	reqs    *telemetry.CounterVec
+	deltaRR *telemetry.Counter
 }
 
 // NewAXFR serves transfers of the zones registered with zp.
@@ -29,15 +38,36 @@ func NewAXFR(zp *ZonePlugin, allowFrom ...netip.Prefix) *AXFR {
 	return &AXFR{zones: zp, allow: allowFrom}
 }
 
+// counters lazily builds the transfer instruments.
+func (a *AXFR) counters() *telemetry.CounterVec {
+	a.ctrOnce.Do(func() {
+		a.reqs = telemetry.NewCounterVec("meccdn_ixfr_requests_total",
+			"Zone-transfer requests by outcome: incremental (IXFR served from the delta journal), full (AXFR, or IXFR outside journal coverage), uptodate (secondary already current), refused.", "result")
+		a.deltaRR = telemetry.NewCounter("meccdn_ixfr_delta_records_total",
+			"Records shipped inside incremental (IXFR) transfer responses, SOA markers included.")
+	})
+	return a.reqs
+}
+
+// Collectors returns the transfer plugin's metric families for
+// registration on a telemetry.Registry.
+func (a *AXFR) Collectors() []telemetry.Collector {
+	a.counters()
+	return []telemetry.Collector{a.reqs, a.deltaRR}
+}
+
 // Name implements Plugin.
 func (a *AXFR) Name() string { return "axfr" }
 
-// ServeDNS implements Plugin. Non-AXFR queries fall through.
+// ServeDNS implements Plugin. Non-transfer queries fall through.
 func (a *AXFR) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next Handler) (dnswire.Rcode, error) {
-	if r.Type() != dnswire.TypeAXFR {
+	qtype := r.Type()
+	if qtype != dnswire.TypeAXFR && qtype != dnswire.TypeIXFR {
 		return next.ServeDNS(ctx, w, r)
 	}
+	reqs := a.counters()
 	refuse := func() (dnswire.Rcode, error) {
+		reqs.Inc("refused")
 		m := new(dnswire.Message)
 		m.SetRcode(r.Msg, dnswire.RcodeRefused)
 		if err := w.WriteMsg(m); err != nil {
@@ -64,37 +94,104 @@ func (a *AXFR) ServeDNS(ctx context.Context, w ResponseWriter, r *Request, next 
 	if zone == nil {
 		return refuse()
 	}
+	view := zone.View()
+
+	var answers []dnswire.RR
+	switch {
+	case qtype == dnswire.TypeIXFR:
+		serial, haveSerial := ixfrRequestSerial(r.Msg)
+		switch {
+		case haveSerial && serial == view.Serial():
+			// Already current: a lone SOA tells the secondary so.
+			answers = []dnswire.RR{view.SOA().Clone()}
+			reqs.Inc("uptodate")
+		case haveSerial:
+			if deltas, ok := view.DeltasSince(serial); ok {
+				answers = ixfrRecords(view, deltas)
+				a.deltaRR.Add(uint64(len(answers)))
+				reqs.Inc("incremental")
+				break
+			}
+			fallthrough
+		default:
+			// No usable serial, or the journal no longer reaches it:
+			// RFC 1995 §4 says answer with a full transfer.
+			answers = transferRecords(view)
+			reqs.Inc("full")
+		}
+	default:
+		answers = transferRecords(view)
+		reqs.Inc("full")
+	}
+
 	m := new(dnswire.Message)
 	m.SetReply(r.Msg)
 	m.Authoritative = true
-	m.Answers = TransferRecords(zone)
+	m.Answers = answers
 	if err := w.WriteMsg(m); err != nil {
 		return dnswire.RcodeServerFailure, err
 	}
 	return dnswire.RcodeSuccess, nil
 }
 
+// ixfrRequestSerial extracts the secondary's current serial from the
+// SOA record an IXFR query carries in its authority section.
+func ixfrRequestSerial(q *dnswire.Message) (uint32, bool) {
+	for _, rr := range q.Authorities {
+		if soa, ok := rr.(*dnswire.SOA); ok {
+			return soa.Serial, true
+		}
+	}
+	return 0, false
+}
+
+// DeltasSince returns the journal suffix taking serial to the view's
+// current serial, or ok=false when the journal no longer reaches that
+// far back (the secondary must fall back to a full transfer). An empty
+// suffix with ok=true means serial is already current.
+func (v *ZoneView) DeltasSince(serial uint32) ([]ZoneDelta, bool) {
+	if serial == v.Serial() {
+		return nil, true
+	}
+	for i := range v.deltas {
+		if v.deltas[i].FromSOA.Serial == serial {
+			return v.deltas[i:], true
+		}
+	}
+	return nil, false
+}
+
+// ixfrRecords builds the RFC 1995 incremental response body: the
+// current SOA, then for each revision the old SOA followed by the
+// deleted records and the new SOA followed by the added records, and
+// the current SOA again to close.
+func ixfrRecords(v *ZoneView, deltas []ZoneDelta) []dnswire.RR {
+	out := []dnswire.RR{v.SOA().Clone()}
+	for _, d := range deltas {
+		out = append(out, d.FromSOA.Clone())
+		for _, rr := range d.Del {
+			out = append(out, rr.Clone())
+		}
+		out = append(out, d.ToSOA.Clone())
+		for _, rr := range d.Add {
+			out = append(out, rr.Clone())
+		}
+	}
+	return append(out, v.SOA().Clone())
+}
+
 // TransferRecords returns the zone's full record set in AXFR order:
 // the SOA first and repeated last, all other records between.
 func TransferRecords(z *Zone) []dnswire.RR {
-	soa := z.SOA()
+	return transferRecords(z.View())
+}
+
+func transferRecords(v *ZoneView) []dnswire.RR {
+	soa := v.SOA()
 	out := []dnswire.RR{soa.Clone()}
-	for _, name := range z.Names() {
-		byType := z.rrs[name]
-		types := make([]int, 0, len(byType))
-		for t := range byType {
-			types = append(types, int(t))
-		}
-		sort.Ints(types)
-		for _, t := range types {
-			if dnswire.Type(t) == dnswire.TypeSOA {
-				continue
-			}
-			for _, rr := range byType[dnswire.Type(t)] {
-				out = append(out, rr.Clone())
-			}
-		}
-	}
+	eachRRSorted(v, func(rr dnswire.RR) {
+		out = append(out, rr.Clone())
+	})
 	return append(out, soa.Clone())
 }
 
@@ -113,11 +210,109 @@ func ZoneFromTransfer(rrs []dnswire.RR) (*Zone, error) {
 		return nil, fmt.Errorf("dnsserver: transfer does not end with the starting SOA")
 	}
 	z := NewZone(soa.Hdr.Name)
-	z.SetSOA(soa.Clone().(*dnswire.SOA))
-	for _, rr := range rrs[1 : len(rrs)-1] {
-		if err := z.Add(rr.Clone()); err != nil {
-			return nil, fmt.Errorf("dnsserver: transfer record %s: %w", rr.Header().Name, err)
+	err := z.Update(func(b *ZoneBuilder) error {
+		// SOA first and explicit, so the transferred serial is adopted
+		// verbatim instead of being auto-bumped per record.
+		b.SetSOA(soa.Clone().(*dnswire.SOA))
+		for _, rr := range rrs[1 : len(rrs)-1] {
+			if err := b.Add(rr.Clone()); err != nil {
+				return fmt.Errorf("dnsserver: transfer record %s: %w", rr.Header().Name, err)
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return z, nil
+}
+
+// ApplyTransfer applies a transfer response (the answer records of an
+// AXFR or IXFR exchange) to the secondary zone z. It classifies the
+// response the way RFC 1995 prescribes:
+//
+//   - a single SOA means the secondary is already current (no-op);
+//   - a leading SOA immediately followed by another SOA is an
+//     incremental response: each (old-SOA, deletions, new-SOA,
+//     additions) sequence is applied in order, verifying serial
+//     continuity;
+//   - anything else is a full transfer and replaces the zone wholesale.
+//
+// It returns whether the response was incremental.
+func ApplyTransfer(z *Zone, rrs []dnswire.RR) (incremental bool, err error) {
+	if len(rrs) == 0 {
+		return false, fmt.Errorf("dnsserver: empty transfer")
+	}
+	first, ok := rrs[0].(*dnswire.SOA)
+	if !ok {
+		return false, fmt.Errorf("dnsserver: transfer does not start with SOA (got %s)", rrs[0].Header().Type)
+	}
+	if len(rrs) == 1 {
+		if first.Serial != z.Serial() {
+			return false, fmt.Errorf("dnsserver: single-SOA transfer with serial %d, have %d", first.Serial, z.Serial())
+		}
+		return true, nil // up to date
+	}
+	if _, second := rrs[1].(*dnswire.SOA); !second {
+		// Full transfer.
+		full, err := ZoneFromTransfer(rrs)
+		if err != nil {
+			return false, err
+		}
+		z.ReplaceView(full.View())
+		return false, nil
+	}
+	// Incremental: walk the (from-SOA, del..., to-SOA, add...) chains.
+	body := rrs[1 : len(rrs)-1]
+	last, ok := rrs[len(rrs)-1].(*dnswire.SOA)
+	if !ok || last.Serial != first.Serial {
+		return false, fmt.Errorf("dnsserver: incremental transfer does not close with the current SOA")
+	}
+	err = z.Update(func(b *ZoneBuilder) error {
+		i := 0
+		expect := z.Serial()
+		for i < len(body) {
+			from, ok := body[i].(*dnswire.SOA)
+			if !ok {
+				return fmt.Errorf("dnsserver: incremental transfer: expected SOA at record %d", i+1)
+			}
+			if from.Serial != expect {
+				return fmt.Errorf("dnsserver: incremental transfer: revision starts at serial %d, have %d", from.Serial, expect)
+			}
+			i++
+			for i < len(body) {
+				if _, isSOA := body[i].(*dnswire.SOA); isSOA {
+					break
+				}
+				if !b.RemoveRR(body[i]) {
+					return fmt.Errorf("dnsserver: incremental transfer: cannot delete absent record %s", body[i].Header().Name)
+				}
+				i++
+			}
+			if i >= len(body) {
+				return fmt.Errorf("dnsserver: incremental transfer: revision missing its new SOA")
+			}
+			to := body[i].(*dnswire.SOA)
+			i++
+			for i < len(body) {
+				if _, isSOA := body[i].(*dnswire.SOA); isSOA {
+					break
+				}
+				if err := b.Add(body[i].Clone()); err != nil {
+					return err
+				}
+				i++
+			}
+			b.SetSOA(to.Clone().(*dnswire.SOA))
+			expect = to.Serial
+		}
+		if expect != first.Serial {
+			return fmt.Errorf("dnsserver: incremental transfer ends at serial %d, want %d", expect, first.Serial)
+		}
+		return nil
+	})
+	if err != nil {
+		return true, err
+	}
+	return true, nil
 }

@@ -7,6 +7,7 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/meccdn/meccdn/internal/dnsclient"
@@ -32,11 +33,30 @@ type ForwardStats struct {
 	Hedged, HedgeWins uint64
 }
 
-// upstreamHealth tracks one upstream's consecutive failures and the
-// cooldown window it must sit out after tripping the threshold.
-type upstreamHealth struct {
-	fails     int
-	downUntil time.Duration
+// upstreamEntry tracks one upstream's consecutive failures and the
+// cooldown deadline it must sit out after tripping the threshold.
+// Both fields are atomics so exchanges record outcomes without a
+// lock; the entry itself is carried across upstream-set rebuilds so
+// health survives reconfiguration.
+type upstreamEntry struct {
+	addr      netip.AddrPort
+	fails     atomic.Int32
+	downUntil atomic.Int64 // vclock nanoseconds; 0 = not cooling
+}
+
+// upstreamSet is the immutable, atomically published view of the
+// forwarder's upstream list: the configured order, the per-upstream
+// health cells, and the resolved clock. Readers load it once per
+// query; it is rebuilt (preserving health state) only when the
+// Upstreams or Clock fields change.
+type upstreamSet struct {
+	addrs   []netip.AddrPort
+	entries []*upstreamEntry
+	index   map[netip.AddrPort]*upstreamEntry
+	// clockSrc is the Forward.Clock value this set was built from
+	// (possibly nil); clock is the resolved, never-nil clock.
+	clockSrc vclock.Clock
+	clock    vclock.Clock
 }
 
 // Forward sends queries to one or more upstream resolvers, trying
@@ -52,7 +72,10 @@ type upstreamHealth struct {
 //     relayed so the client sees the real upstream verdict.
 //   - Per-upstream health: FailureThreshold consecutive failures put
 //     an upstream into a Cooldown window (with exponential backoff)
-//     during which it is tried only as a last resort.
+//     during which it is tried only as a last resort. Health state
+//     lives in atomic cells inside an RCU-published upstream set, so
+//     candidate ordering and outcome recording never take a lock on
+//     the serve path.
 //   - Hedging: when HedgeDelay > 0 and a second upstream is
 //     available, a second exchange is launched after the delay and
 //     the first usable answer wins — trading a duplicate upstream
@@ -90,8 +113,10 @@ type Forward struct {
 	// cooldown tracking; neither replaces the other.
 	Health *health.Registry
 
-	mu     sync.Mutex
-	health map[netip.AddrPort]*upstreamHealth
+	ups atomic.Pointer[upstreamSet]
+	// wmu serializes upstream-set rebuilds; the serve path never
+	// takes it once the set matches the configured upstreams.
+	wmu sync.Mutex
 
 	ctrOnce sync.Once
 	ctr     forwardCounters
@@ -141,12 +166,59 @@ func (f *Forward) Stats() ForwardStats {
 	}
 }
 
-// now returns the health clock's time, defaulting to a wall clock.
-func (f *Forward) now() time.Duration {
-	if f.Clock == nil {
-		f.Clock = vclock.NewReal()
+// set returns the published upstream set, rebuilding it first if the
+// Upstreams or Clock fields changed since the last build. The common
+// case — configuration unchanged — is one atomic load plus a short
+// slice comparison, no lock.
+func (f *Forward) set() *upstreamSet {
+	s := f.ups.Load()
+	if s != nil && s.clockSrc == f.Clock && equalAddrPorts(s.addrs, f.Upstreams) {
+		return s
 	}
-	return f.Clock.Now()
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	s = f.ups.Load()
+	if s != nil && s.clockSrc == f.Clock && equalAddrPorts(s.addrs, f.Upstreams) {
+		return s
+	}
+	clock := f.Clock
+	if clock == nil {
+		clock = vclock.NewReal()
+	}
+	next := &upstreamSet{
+		addrs:    append([]netip.AddrPort(nil), f.Upstreams...),
+		entries:  make([]*upstreamEntry, 0, len(f.Upstreams)),
+		index:    make(map[netip.AddrPort]*upstreamEntry, len(f.Upstreams)),
+		clockSrc: f.Clock,
+		clock:    clock,
+	}
+	for _, up := range next.addrs {
+		var e *upstreamEntry
+		if s != nil {
+			e = s.index[up] // carry health across rebuilds
+		}
+		if e == nil {
+			e = &upstreamEntry{addr: up}
+		}
+		next.entries = append(next.entries, e)
+		next.index[up] = e
+	}
+	f.ups.Store(next)
+	return next
+}
+
+// equalAddrPorts reports whether two upstream lists are identical in
+// content and order.
+func equalAddrPorts(a, b []netip.AddrPort) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // failoverRcode reports whether rcode should trigger a try of the
@@ -155,23 +227,23 @@ func failoverRcode(rc dnswire.Rcode) bool {
 	return rc == dnswire.RcodeServerFailure || rc == dnswire.RcodeRefused
 }
 
-// candidates orders Upstreams for this query: healthy ones first in
-// configured order (probe-registry-scored when Health is attached),
-// cooled-down ones appended as a last resort.
+// candidates orders the upstreams for this query: healthy ones first
+// in configured order (probe-registry-scored when Health is
+// attached), cooled-down ones appended as a last resort. Lock-free:
+// one snapshot load and per-entry atomic reads.
 func (f *Forward) candidates() []netip.AddrPort {
-	f.mu.Lock()
-	now := f.now()
-	healthy := make([]netip.AddrPort, 0, len(f.Upstreams))
+	s := f.set()
+	now := int64(s.clock.Now())
+	healthy := make([]netip.AddrPort, 0, len(s.entries))
 	var cooling []netip.AddrPort
-	for _, up := range f.Upstreams {
-		if h, ok := f.health[up]; ok && now < h.downUntil {
-			cooling = append(cooling, up)
+	for _, e := range s.entries {
+		if du := e.downUntil.Load(); du != 0 && now < du {
+			cooling = append(cooling, e.addr)
 			f.counters().skipped.Inc()
 			continue
 		}
-		healthy = append(healthy, up)
+		healthy = append(healthy, e.addr)
 	}
-	f.mu.Unlock()
 	if f.Health != nil && len(healthy) > 1 {
 		type score struct {
 			rank int
@@ -196,22 +268,17 @@ func (f *Forward) candidates() []netip.AddrPort {
 // recordFailure notes one failed exchange and trips the cooldown once
 // the threshold is reached, backing off exponentially after that.
 func (f *Forward) recordFailure(up netip.AddrPort) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.health == nil {
-		f.health = make(map[netip.AddrPort]*upstreamHealth)
+	s := f.set()
+	e := s.index[up]
+	if e == nil {
+		return
 	}
-	h := f.health[up]
-	if h == nil {
-		h = &upstreamHealth{}
-		f.health[up] = h
-	}
-	h.fails++
+	fails := int(e.fails.Add(1))
 	threshold := f.FailureThreshold
 	if threshold <= 0 {
 		threshold = 3
 	}
-	if h.fails < threshold {
+	if fails < threshold {
 		return
 	}
 	cooldown := f.Cooldown
@@ -219,20 +286,22 @@ func (f *Forward) recordFailure(up netip.AddrPort) {
 		cooldown = 5 * time.Second
 	}
 	// Exponential backoff: 1×, 2×, 4×, … capped at 64× the base.
-	exp := h.fails - threshold
+	exp := fails - threshold
 	if exp > 6 {
 		exp = 6
 	}
-	h.downUntil = f.now() + cooldown<<exp
+	e.downUntil.Store(int64(s.clock.Now() + cooldown<<exp))
 }
 
 // recordSuccess resets an upstream's failure state.
 func (f *Forward) recordSuccess(up netip.AddrPort) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if h, ok := f.health[up]; ok {
-		h.fails = 0
-		h.downUntil = 0
+	s := f.ups.Load()
+	if s == nil {
+		return
+	}
+	if e := s.index[up]; e != nil {
+		e.fails.Store(0)
+		e.downUntil.Store(0)
 	}
 }
 
@@ -382,6 +451,12 @@ type stubRoute struct {
 	labels    int
 }
 
+// stubTable is one immutable revision of the stub route table,
+// published via atomic pointer so match() never locks.
+type stubTable struct {
+	routes map[string]*stubRoute
+}
+
 // Stub routes queries for specific sub-domains to dedicated upstream
 // servers, the CoreDNS stub-domain mechanism the paper's prototype
 // uses to hand the CDN domain from the MEC L-DNS (CoreDNS) to the
@@ -391,10 +466,13 @@ type stubRoute struct {
 //	stub.Route("mycdn.ciab.test.", cdnsAddr)
 //
 // Route and Unroute may be called concurrently with query serving (a
-// live reconfiguration); the route table is guarded by a RWMutex.
+// live reconfiguration): writers copy the route table, mutate the
+// copy, and publish it atomically; the per-query longest-match walk
+// is a single snapshot load with no lock.
 type Stub struct {
-	mu     sync.RWMutex
-	routes map[string]*stubRoute
+	table atomic.Pointer[stubTable]
+	// wmu serializes Route/Unroute; match never takes it.
+	wmu sync.Mutex
 	// Client performs the exchanges; required.
 	Client *dnsclient.Client
 	// Clock, FailureThreshold, Cooldown, HedgeDelay, and Health
@@ -409,15 +487,28 @@ type Stub struct {
 
 // NewStub returns an empty stub-domain router.
 func NewStub(client *dnsclient.Client) *Stub {
-	return &Stub{routes: make(map[string]*stubRoute), Client: client}
+	s := &Stub{Client: client}
+	s.table.Store(&stubTable{routes: map[string]*stubRoute{}})
+	return s
+}
+
+// updateTable copies the current route table, applies fn, publishes.
+func (s *Stub) updateTable(fn func(map[string]*stubRoute)) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	old := s.table.Load()
+	next := make(map[string]*stubRoute, len(old.routes)+1)
+	for d, rt := range old.routes {
+		next[d] = rt
+	}
+	fn(next)
+	s.table.Store(&stubTable{routes: next})
 }
 
 // Route directs queries under domain to the given upstreams.
 func (s *Stub) Route(domain string, upstreams ...netip.AddrPort) {
 	domain = dnswire.CanonicalName(domain)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.routes[domain] = &stubRoute{
+	rt := &stubRoute{
 		upstreams: upstreams,
 		labels:    dnswire.CountLabels(domain),
 		fwd: &Forward{
@@ -430,26 +521,25 @@ func (s *Stub) Route(domain string, upstreams ...netip.AddrPort) {
 			Health:           s.Health,
 		},
 	}
+	s.updateTable(func(routes map[string]*stubRoute) { routes[domain] = rt })
 }
 
 // Unroute removes a stub domain.
 func (s *Stub) Unroute(domain string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.routes, dnswire.CanonicalName(domain))
+	domain = dnswire.CanonicalName(domain)
+	s.updateTable(func(routes map[string]*stubRoute) { delete(routes, domain) })
 }
 
 // Name implements Plugin.
 func (s *Stub) Name() string { return "stub" }
 
 // match returns the forwarder and domain of the longest matching stub
-// route.
+// route. Lock-free: one atomic table load per query.
 func (s *Stub) match(qname string) (*Forward, string) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	t := s.table.Load()
 	var best *stubRoute
 	bestDomain := ""
-	for domain, rt := range s.routes {
+	for domain, rt := range t.routes {
 		if dnswire.IsSubdomain(domain, qname) {
 			if best == nil || rt.labels > best.labels {
 				best, bestDomain = rt, domain

@@ -1,0 +1,225 @@
+package dnsserver
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/meccdn/meccdn/internal/dnsclient"
+	"github.com/meccdn/meccdn/internal/dnswire"
+)
+
+// ixfrAsk sends an IXFR query (with the client's serial in the
+// authority section, per RFC 1995 §3) through the chain over a fake
+// TCP transport and returns the answer records.
+func ixfrAsk(t *testing.T, h Handler, zone string, serial uint32) []dnswire.RR {
+	t.Helper()
+	q := new(dnswire.Message)
+	q.SetQuestion(zone, dnswire.TypeIXFR)
+	q.Authorities = []dnswire.RR{&dnswire.SOA{
+		Hdr:    dnswire.RRHeader{Name: zone, Type: dnswire.TypeSOA, Class: dnswire.ClassINET},
+		Serial: serial,
+	}}
+	resp := Resolve(context.Background(), h, &Request{
+		Msg: q, Transport: "tcp", Client: netip.MustParseAddrPort("10.0.0.1:5000")})
+	if resp.Rcode != dnswire.RcodeSuccess {
+		t.Fatalf("IXFR rcode = %v", resp.Rcode)
+	}
+	return resp.Answers
+}
+
+// recordSet flattens a zone view into a comparable multiset keyed by
+// the records' presentation form (SOA excluded: serials differ by
+// construction path).
+func recordSet(z *Zone) map[string]int {
+	set := make(map[string]int)
+	for _, rr := range TransferRecords(z) {
+		if rr.Header().Type == dnswire.TypeSOA {
+			continue
+		}
+		set[rr.String()]++
+	}
+	return set
+}
+
+func sameRecords(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, n := range a {
+		if b[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIXFRRoundTrip is the RFC 1995 round-trip: a secondary seeded by
+// full AXFR catches up through incremental transfers alone, and the
+// result is record-for-record identical to a fresh full transfer —
+// full AXFR ≡ base + applied diffs.
+func TestIXFRRoundTrip(t *testing.T) {
+	zone := testZone(t)
+	// Bulk the zone up so "delta ≪ full zone" is observable.
+	for i := 0; i < 50; i++ {
+		if err := zone.AddA(fmt.Sprintf("bulk%d.mycdn.ciab.test.", i), 60, netip.MustParseAddr("10.96.2.1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	zp := NewZonePlugin(zone)
+	h := Chain(NewAXFR(zp), zp)
+
+	// Seed the secondary with a full transfer at the base serial.
+	base := TransferRecords(zone)
+	secondary, err := ZoneFromTransfer(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSerial := secondary.Serial()
+
+	// Three revisions on the primary: add, replace, remove.
+	if err := zone.AddA("new1.mycdn.ciab.test.", 60, netip.MustParseAddr("10.96.0.50")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zone.Update(func(b *ZoneBuilder) error {
+		b.Remove("edge1.mycdn.ciab.test.", dnswire.TypeTXT)
+		return b.AddA("edge1.mycdn.ciab.test.", 60, netip.MustParseAddr("10.96.0.13"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !zone.Remove("external.mycdn.ciab.test.", dnswire.TypeCNAME) {
+		t.Fatal("Remove external CNAME failed")
+	}
+
+	// The incremental answer must be a delta, not a full zone: bounded
+	// by the journal walk, opening and closing with the current SOA.
+	rrs := ixfrAsk(t, h, "mycdn.ciab.test.", baseSerial)
+	if len(rrs) >= len(TransferRecords(zone)) {
+		t.Errorf("IXFR shipped %d records, full transfer is %d — not incremental",
+			len(rrs), len(TransferRecords(zone)))
+	}
+	if _, second := rrs[1].(*dnswire.SOA); !second {
+		t.Fatal("IXFR response is not in incremental format (second record not SOA)")
+	}
+
+	incremental, err := ApplyTransfer(secondary, rrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !incremental {
+		t.Error("ApplyTransfer did not classify the response as incremental")
+	}
+	if secondary.Serial() != zone.Serial() {
+		t.Errorf("secondary serial %d, primary %d", secondary.Serial(), zone.Serial())
+	}
+	if !sameRecords(recordSet(secondary), recordSet(zone)) {
+		t.Errorf("base + diffs != full zone:\nsecondary %v\nprimary  %v",
+			recordSet(secondary), recordSet(zone))
+	}
+
+	// Already current: a single SOA, applied as a no-op.
+	rrs = ixfrAsk(t, h, "mycdn.ciab.test.", zone.Serial())
+	if len(rrs) != 1 {
+		t.Fatalf("up-to-date IXFR returned %d records, want 1", len(rrs))
+	}
+	if inc, err := ApplyTransfer(secondary, rrs); err != nil || !inc {
+		t.Errorf("up-to-date apply: incremental=%v err=%v", inc, err)
+	}
+}
+
+// TestIXFRFallsBackToFullTransfer covers the journal-exhausted path:
+// a serial older than the journal reaches gets a full AXFR-style
+// response, which ApplyTransfer applies as a replacement.
+func TestIXFRFallsBackToFullTransfer(t *testing.T) {
+	zone := testZone(t)
+	zp := NewZonePlugin(zone)
+	h := Chain(NewAXFR(zp), zp)
+
+	// A serial the journal has never seen (zones are born at serial 1,
+	// so 0 predates every journal entry) → full transfer.
+	rrs := ixfrAsk(t, h, "mycdn.ciab.test.", 0)
+	if _, second := rrs[1].(*dnswire.SOA); second {
+		t.Fatal("unknown-serial IXFR answered incrementally")
+	}
+	secondary := NewZone("mycdn.ciab.test.")
+	incremental, err := ApplyTransfer(secondary, rrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if incremental {
+		t.Error("full response classified as incremental")
+	}
+	if secondary.Serial() != zone.Serial() || !sameRecords(recordSet(secondary), recordSet(zone)) {
+		t.Error("full fallback did not reproduce the zone")
+	}
+
+	// Push more revisions than the journal holds: the base serial must
+	// age out and the server must fall back to full rather than
+	// serving a truncated diff chain.
+	old := zone.Serial()
+	for i := 0; i < maxZoneDeltas+10; i++ {
+		if err := zone.AddA(fmt.Sprintf("churn%d.mycdn.ciab.test.", i), 60, netip.MustParseAddr("10.96.1.1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rrs = ixfrAsk(t, h, "mycdn.ciab.test.", old)
+	if _, second := rrs[1].(*dnswire.SOA); second {
+		t.Error("journal-exhausted IXFR answered incrementally")
+	}
+}
+
+// TestIXFROverRealTCP drives the requester side end to end: the
+// secondary pulls an incremental delta over a real TCP socket via
+// Client.TransferFrom.
+func TestIXFROverRealTCP(t *testing.T) {
+	zone := testZone(t)
+	zp := NewZonePlugin(zone)
+	addr := startTestServer(t, Chain(NewAXFR(zp), zp))
+
+	c := &dnsclient.Client{Transport: &dnsclient.NetTransport{}, Timeout: 2 * time.Second}
+	full, err := c.Transfer(context.Background(), addr, "mycdn.ciab.test.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondary, err := ZoneFromTransfer(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := zone.AddA("pulled.mycdn.ciab.test.", 60, netip.MustParseAddr("10.96.0.77")); err != nil {
+		t.Fatal(err)
+	}
+	rrs, err := c.TransferFrom(context.Background(), addr, "mycdn.ciab.test.", secondary.Serial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	incremental, err := ApplyTransfer(secondary, rrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !incremental {
+		t.Error("wire IXFR was not incremental")
+	}
+	res, ans, _ := secondary.Lookup("pulled.mycdn.ciab.test.", dnswire.TypeA)
+	if res != LookupSuccess || len(ans) != 1 {
+		t.Errorf("secondary missing pulled record: %v %d answers", res, len(ans))
+	}
+	if secondary.Serial() != zone.Serial() {
+		t.Errorf("secondary serial %d, primary %d", secondary.Serial(), zone.Serial())
+	}
+}
+
+// TestIXFRRefusedOverUDP: transfers stay TCP-only.
+func TestIXFRRefusedOverUDP(t *testing.T) {
+	zp := NewZonePlugin(testZone(t))
+	h := Chain(NewAXFR(zp), zp)
+	q := new(dnswire.Message)
+	q.SetQuestion("mycdn.ciab.test.", dnswire.TypeIXFR)
+	resp := Resolve(context.Background(), h, &Request{
+		Msg: q, Transport: "udp", Client: netip.MustParseAddrPort("10.0.0.1:5000")})
+	if resp.Rcode != dnswire.RcodeRefused {
+		t.Errorf("UDP IXFR rcode = %v", resp.Rcode)
+	}
+}

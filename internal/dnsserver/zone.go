@@ -9,73 +9,131 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/meccdn/meccdn/internal/dnswire"
 	"github.com/meccdn/meccdn/internal/telemetry"
 )
 
-// Zone is an in-memory authoritative zone. It supports exact matches,
-// CNAME indirection, wildcard owners ("*.<name>"), delegations via NS
-// records below the apex (with glue), and RFC 2308 negative answers
-// carrying the SOA.
-type Zone struct {
+// maxZoneDeltas bounds the per-zone IXFR journal. A secondary whose
+// serial has fallen further behind than the journal reaches gets a
+// full transfer instead (RFC 1995 §4 allows the fallback), so the
+// bound trades incremental coverage for memory, never correctness.
+const maxZoneDeltas = 256
+
+// ZoneDelta is one published zone revision: the change set that took
+// the zone from FromSOA.Serial to ToSOA.Serial. Del and Add hold the
+// non-SOA records removed and added by the revision (the SOA change
+// itself is carried by the two SOA records, exactly the framing the
+// IXFR wire format wants).
+type ZoneDelta struct {
+	FromSOA, ToSOA *dnswire.SOA
+	Del, Add       []dnswire.RR
+}
+
+// ZoneView is one immutable snapshot of a zone's record set. Readers
+// obtain a view with Zone.View and use it without locking: nothing
+// reachable from a published view is ever mutated. Writers build the
+// next view copy-on-write and publish it atomically — the RCU pattern
+// the whole query-time read plane follows.
+type ZoneView struct {
 	// Origin is the canonical apex name.
 	Origin string
 	soa    *dnswire.SOA
 	// rrs maps canonical owner name → type → records.
 	rrs map[string]map[dnswire.Type][]dnswire.RR
+	// deltas is the bounded journal of revisions ending at this view,
+	// oldest first and serial-contiguous; the IXFR responder walks it.
+	deltas []ZoneDelta
+}
+
+// SOA returns the view's SOA record. Callers must not mutate it.
+func (v *ZoneView) SOA() *dnswire.SOA { return v.soa }
+
+// Serial returns the view's SOA serial.
+func (v *ZoneView) Serial() uint32 {
+	if v.soa == nil {
+		return 0
+	}
+	return v.soa.Serial
+}
+
+// Names returns every owner name in the view, sorted.
+func (v *ZoneView) Names() []string {
+	names := make([]string, 0, len(v.rrs))
+	for n := range v.rrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Zone is an in-memory authoritative zone. It supports exact matches,
+// CNAME indirection, wildcard owners ("*.<name>"), delegations via NS
+// records below the apex (with glue), and RFC 2308 negative answers
+// carrying the SOA.
+//
+// The record set lives in an immutable ZoneView published through an
+// atomic pointer: Lookup and the transfer paths never take a lock, and
+// mutations (Add/Remove/Update/Replace) copy-on-write off the current
+// view, bump the SOA serial, and publish the next view — so a zone can
+// be rebuilt while serving with zero blocked or dropped queries. Each
+// publish records a ZoneDelta for IXFR propagation.
+type Zone struct {
+	// Origin is the canonical apex name.
+	Origin string
+
+	view atomic.Pointer[ZoneView]
+	// wmu serializes writers; readers never touch it.
+	wmu sync.Mutex
 }
 
 // NewZone creates an empty zone rooted at origin with a generated SOA.
 func NewZone(origin string) *Zone {
 	origin = dnswire.CanonicalName(origin)
-	z := &Zone{
-		Origin: origin,
-		rrs:    make(map[string]map[dnswire.Type][]dnswire.RR),
-	}
-	z.SetSOA(&dnswire.SOA{
+	z := &Zone{Origin: origin}
+	soa := &dnswire.SOA{
 		Hdr:    dnswire.RRHeader{Name: origin, Type: dnswire.TypeSOA, Class: dnswire.ClassINET, TTL: 3600},
 		NS:     "ns." + strings.TrimPrefix(origin, "."),
 		Mbox:   "hostmaster." + strings.TrimPrefix(origin, "."),
 		Serial: 1, Refresh: 7200, Retry: 3600, Expire: 1209600, MinTTL: 60,
-	})
+	}
+	v := &ZoneView{
+		Origin: origin,
+		soa:    soa,
+		rrs: map[string]map[dnswire.Type][]dnswire.RR{
+			origin: {dnswire.TypeSOA: {soa}},
+		},
+	}
+	z.view.Store(v)
 	return z
 }
 
-// SetSOA replaces the zone's SOA record.
+// View returns the current immutable snapshot. The returned view is
+// safe for concurrent use and stays coherent (records, SOA serial, and
+// IXFR journal all from one publish) for as long as the caller holds
+// it.
+func (z *Zone) View() *ZoneView { return z.view.Load() }
+
+// SOA returns the zone's current SOA record.
+func (z *Zone) SOA() *dnswire.SOA { return z.View().soa }
+
+// Serial returns the zone's current SOA serial.
+func (z *Zone) Serial() uint32 { return z.View().Serial() }
+
+// Names returns every owner name in the zone, sorted.
+func (z *Zone) Names() []string { return z.View().Names() }
+
+// SetSOA replaces the zone's SOA record, adopting its serial verbatim.
 func (z *Zone) SetSOA(soa *dnswire.SOA) {
-	soa.Hdr.Name = z.Origin
-	z.soa = soa
-	z.add(soa)
+	z.Update(func(b *ZoneBuilder) error { b.SetSOA(soa); return nil })
 }
 
-// SOA returns the zone's SOA record.
-func (z *Zone) SOA() *dnswire.SOA { return z.soa }
-
-// Add inserts a record. The owner must be within the zone.
+// Add inserts a record and publishes a new revision (serial bumped by
+// one). The owner must be within the zone.
 func (z *Zone) Add(rr dnswire.RR) error {
-	owner := dnswire.CanonicalName(rr.Header().Name)
-	if !dnswire.IsSubdomain(z.Origin, owner) {
-		return fmt.Errorf("dnsserver: record %q outside zone %q", owner, z.Origin)
-	}
-	rr.Header().Name = owner
-	z.add(rr)
-	return nil
-}
-
-func (z *Zone) add(rr dnswire.RR) {
-	owner := dnswire.CanonicalName(rr.Header().Name)
-	byType := z.rrs[owner]
-	if byType == nil {
-		byType = make(map[dnswire.Type][]dnswire.RR)
-		z.rrs[owner] = byType
-	}
-	t := rr.Header().Type
-	if t == dnswire.TypeSOA {
-		byType[t] = []dnswire.RR{rr} // singleton
-		return
-	}
-	byType[t] = append(byType[t], rr)
+	return z.Update(func(b *ZoneBuilder) error { return b.Add(rr) })
 }
 
 // AddA is a convenience for the most common record in this repository.
@@ -98,29 +156,339 @@ func (z *Zone) AddCNAME(name string, ttl uint32, target string) error {
 // anything was removed. Used by the orchestrator when a service or
 // endpoint disappears.
 func (z *Zone) Remove(name string, t dnswire.Type) bool {
+	removed := false
+	z.Update(func(b *ZoneBuilder) error {
+		removed = b.Remove(name, t)
+		return nil
+	})
+	return removed
+}
+
+// Update applies a batch of mutations atomically: fn works on a
+// ZoneBuilder seeded with the current view, and if it returns nil and
+// changed anything, the result is published as one new revision — one
+// serial bump, one IXFR delta — visible to readers all at once.
+// Concurrent Updates serialize; readers are never blocked.
+func (z *Zone) Update(fn func(*ZoneBuilder) error) error {
+	z.wmu.Lock()
+	defer z.wmu.Unlock()
+	old := z.view.Load()
+	b := newZoneBuilder(old)
+	if err := fn(b); err != nil {
+		return err
+	}
+	if v, changed := b.build(old); changed {
+		z.view.Store(v)
+	}
+	return nil
+}
+
+// Replace swaps the zone's entire record set for the contents of from
+// (typically a freshly parsed zone file), publishing the difference as
+// one revision. The new serial is from's when it is ahead of the
+// current one, and current+1 otherwise — so a reload with an unchanged
+// file serial still advances, and secondaries notice. Queries in
+// flight keep the old view; new queries see the new one.
+func (z *Zone) Replace(from *Zone) {
+	z.ReplaceView(from.View())
+}
+
+// ReplaceView is Replace for an already-extracted view.
+func (z *Zone) ReplaceView(nv *ZoneView) {
+	z.wmu.Lock()
+	defer z.wmu.Unlock()
+	old := z.view.Load()
+	del, add := diffRecords(old, nv)
+	soa := nv.soa.Clone().(*dnswire.SOA)
+	soa.Hdr.Name = z.Origin
+	if !serialAdvanced(old.Serial(), soa.Serial) {
+		soa.Serial = old.Serial() + 1
+	}
+	if len(del) == 0 && len(add) == 0 && soa.String() == old.soa.String() {
+		return // byte-identical reload: nothing to publish
+	}
+	rrs := cloneRRMap(nv.rrs)
+	rrs[z.Origin] = cloneByType(rrs[z.Origin])
+	rrs[z.Origin][dnswire.TypeSOA] = []dnswire.RR{soa}
+	v := &ZoneView{
+		Origin: z.Origin,
+		soa:    soa,
+		rrs:    rrs,
+		deltas: appendDelta(old, ZoneDelta{
+			FromSOA: old.soa, ToSOA: soa, Del: del, Add: add,
+		}),
+	}
+	z.view.Store(v)
+}
+
+// serialAdvanced reports whether b is ahead of a in RFC 1982 serial
+// arithmetic (wrapping uint32 comparison).
+func serialAdvanced(a, b uint32) bool {
+	return b != a && (b-a) < 1<<31
+}
+
+// appendDelta extends old's journal with d, keeping it bounded.
+func appendDelta(old *ZoneView, d ZoneDelta) []ZoneDelta {
+	deltas := old.deltas
+	if len(deltas) >= maxZoneDeltas {
+		deltas = deltas[len(deltas)-maxZoneDeltas+1:]
+	}
+	out := make([]ZoneDelta, 0, len(deltas)+1)
+	out = append(out, deltas...)
+	return append(out, d)
+}
+
+// diffRecords computes the non-SOA record difference between two
+// views, keyed by full presentation form (owner, TTL, class, type,
+// rdata).
+func diffRecords(old, nv *ZoneView) (del, add []dnswire.RR) {
+	type slot struct {
+		rr    dnswire.RR
+		count int
+	}
+	index := make(map[string]*slot)
+	eachRR(old, func(rr dnswire.RR) {
+		k := rr.String()
+		if s := index[k]; s != nil {
+			s.count++
+		} else {
+			index[k] = &slot{rr: rr, count: 1}
+		}
+	})
+	eachRR(nv, func(rr dnswire.RR) {
+		k := rr.String()
+		if s := index[k]; s != nil && s.count > 0 {
+			s.count--
+			return
+		}
+		add = append(add, rr.Clone())
+	})
+	// Deterministic order: walk old again so deletions come out in the
+	// old view's iteration-independent (sorted) order.
+	seen := make(map[string]int)
+	eachRRSorted(old, func(rr dnswire.RR) {
+		k := rr.String()
+		if s := index[k]; s != nil && seen[k] < s.count {
+			seen[k]++
+			del = append(del, rr.Clone())
+		}
+	})
+	return del, add
+}
+
+// eachRR visits every non-SOA record of a view.
+func eachRR(v *ZoneView, fn func(dnswire.RR)) {
+	for _, byType := range v.rrs {
+		for t, rrs := range byType {
+			if t == dnswire.TypeSOA {
+				continue
+			}
+			for _, rr := range rrs {
+				fn(rr)
+			}
+		}
+	}
+}
+
+// eachRRSorted is eachRR in sorted owner/type order.
+func eachRRSorted(v *ZoneView, fn func(dnswire.RR)) {
+	for _, name := range v.Names() {
+		byType := v.rrs[name]
+		types := make([]int, 0, len(byType))
+		for t := range byType {
+			types = append(types, int(t))
+		}
+		sort.Ints(types)
+		for _, t := range types {
+			if dnswire.Type(t) == dnswire.TypeSOA {
+				continue
+			}
+			for _, rr := range byType[dnswire.Type(t)] {
+				fn(rr)
+			}
+		}
+	}
+}
+
+// cloneRRMap shallow-copies the owner map; the inner maps and slices
+// are shared with the source and must be copied before mutation.
+func cloneRRMap(rrs map[string]map[dnswire.Type][]dnswire.RR) map[string]map[dnswire.Type][]dnswire.RR {
+	out := make(map[string]map[dnswire.Type][]dnswire.RR, len(rrs))
+	for k, v := range rrs {
+		out[k] = v
+	}
+	return out
+}
+
+// cloneByType shallow-copies one owner's type map.
+func cloneByType(byType map[dnswire.Type][]dnswire.RR) map[dnswire.Type][]dnswire.RR {
+	out := make(map[dnswire.Type][]dnswire.RR, len(byType)+1)
+	for k, v := range byType {
+		out[k] = v
+	}
+	return out
+}
+
+// ZoneBuilder accumulates one revision's mutations against a base
+// view. It copies only what it touches: untouched owners keep sharing
+// the base view's maps and slices. Builders are not safe for
+// concurrent use; Zone.Update hands each caller its own.
+type ZoneBuilder struct {
+	origin string
+	rrs    map[string]map[dnswire.Type][]dnswire.RR
+	// touched marks owners whose type map is already a private copy.
+	touched  map[string]bool
+	soa      *dnswire.SOA
+	soaSet   bool
+	del, add []dnswire.RR
+	dirty    bool
+}
+
+func newZoneBuilder(base *ZoneView) *ZoneBuilder {
+	return &ZoneBuilder{
+		origin:  base.Origin,
+		rrs:     cloneRRMap(base.rrs),
+		touched: make(map[string]bool),
+		soa:     base.soa,
+	}
+}
+
+// owner returns a mutable type map for name.
+func (b *ZoneBuilder) owner(name string) map[dnswire.Type][]dnswire.RR {
+	byType := b.rrs[name]
+	// A prior Remove may have deleted a touched owner's entry outright;
+	// byType is nil then, and a fresh private map must be made.
+	if byType != nil && b.touched[name] {
+		return byType
+	}
+	byType = cloneByType(byType)
+	b.rrs[name] = byType
+	b.touched[name] = true
+	return byType
+}
+
+// SetSOA replaces the revision's SOA, adopting its serial verbatim on
+// publish instead of auto-bumping.
+func (b *ZoneBuilder) SetSOA(soa *dnswire.SOA) {
+	soa.Hdr.Name = b.origin
+	b.soa = soa
+	b.soaSet = true
+	b.dirty = true
+}
+
+// Add inserts a record. The owner must be within the zone.
+func (b *ZoneBuilder) Add(rr dnswire.RR) error {
+	owner := dnswire.CanonicalName(rr.Header().Name)
+	if !dnswire.IsSubdomain(b.origin, owner) {
+		return fmt.Errorf("dnsserver: record %q outside zone %q", owner, b.origin)
+	}
+	rr.Header().Name = owner
+	if rr.Header().Type == dnswire.TypeSOA {
+		b.SetSOA(rr.(*dnswire.SOA))
+		return nil
+	}
+	byType := b.owner(owner)
+	t := rr.Header().Type
+	// Copy-on-append: the base view may share the backing array.
+	rrs := byType[t]
+	next := make([]dnswire.RR, len(rrs), len(rrs)+1)
+	copy(next, rrs)
+	byType[t] = append(next, rr)
+	b.add = append(b.add, rr.Clone())
+	b.dirty = true
+	return nil
+}
+
+// AddA is the builder form of Zone.AddA.
+func (b *ZoneBuilder) AddA(name string, ttl uint32, addr netip.Addr) error {
+	return b.Add(&dnswire.A{
+		Hdr:  dnswire.RRHeader{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: ttl},
+		Addr: addr,
+	})
+}
+
+// Remove deletes all records of type t at name; it reports whether
+// anything was removed.
+func (b *ZoneBuilder) Remove(name string, t dnswire.Type) bool {
 	owner := dnswire.CanonicalName(name)
-	byType, ok := z.rrs[owner]
+	byType, ok := b.rrs[owner]
 	if !ok {
 		return false
 	}
-	if _, ok := byType[t]; !ok {
+	rrs, ok := byType[t]
+	if !ok {
 		return false
 	}
+	for _, rr := range rrs {
+		b.del = append(b.del, rr.Clone())
+	}
+	byType = b.owner(owner)
 	delete(byType, t)
 	if len(byType) == 0 {
-		delete(z.rrs, owner)
+		delete(b.rrs, owner)
 	}
+	b.dirty = true
 	return true
 }
 
-// Names returns every owner name in the zone, sorted.
-func (z *Zone) Names() []string {
-	names := make([]string, 0, len(z.rrs))
-	for n := range z.rrs {
-		names = append(names, n)
+// RemoveRR deletes the single record equal to rr (full presentation
+// form match); it reports whether anything was removed. This is the
+// record-granular removal IXFR application needs.
+func (b *ZoneBuilder) RemoveRR(rr dnswire.RR) bool {
+	owner := dnswire.CanonicalName(rr.Header().Name)
+	byType, ok := b.rrs[owner]
+	if !ok {
+		return false
 	}
-	sort.Strings(names)
-	return names
+	t := rr.Header().Type
+	rrs := byType[t]
+	want := rr.String()
+	for i, have := range rrs {
+		if have.String() != want {
+			continue
+		}
+		byType = b.owner(owner)
+		next := make([]dnswire.RR, 0, len(rrs)-1)
+		next = append(next, rrs[:i]...)
+		next = append(next, rrs[i+1:]...)
+		if len(next) == 0 {
+			delete(byType, t)
+		} else {
+			byType[t] = next
+		}
+		if len(byType) == 0 {
+			delete(b.rrs, owner)
+		}
+		b.del = append(b.del, have.Clone())
+		b.dirty = true
+		return true
+	}
+	return false
+}
+
+// build publishes the accumulated mutations as the next view. The
+// serial is the explicit SOA's when SetSOA was called, and base+1
+// otherwise.
+func (b *ZoneBuilder) build(base *ZoneView) (*ZoneView, bool) {
+	if !b.dirty {
+		return base, false
+	}
+	soa := b.soa
+	if !b.soaSet {
+		soa = base.soa.Clone().(*dnswire.SOA)
+		soa.Serial = base.Serial() + 1
+	}
+	byType := cloneByType(b.rrs[b.origin])
+	byType[dnswire.TypeSOA] = []dnswire.RR{soa}
+	b.rrs[b.origin] = byType
+	return &ZoneView{
+		Origin: b.origin,
+		soa:    soa,
+		rrs:    b.rrs,
+		deltas: appendDelta(base, ZoneDelta{
+			FromSOA: base.soa, ToSOA: soa, Del: b.del, Add: b.add,
+		}),
+	}, true
 }
 
 // LookupResult classifies a zone lookup.
@@ -134,10 +502,16 @@ const (
 	LookupDelegation                     // referral to child zone
 )
 
-// Lookup resolves (qname, qtype) within the zone, following in-zone
+// Lookup resolves (qname, qtype) against the zone's current view; see
+// ZoneView.Lookup. Lock-free.
+func (z *Zone) Lookup(qname string, qtype dnswire.Type) (LookupResult, []dnswire.RR, []dnswire.RR) {
+	return z.View().Lookup(qname, qtype)
+}
+
+// Lookup resolves (qname, qtype) within the view, following in-zone
 // CNAME chains. It returns the result class, the answer records, and
 // the authority records (SOA for negative answers, NS for referrals).
-func (z *Zone) Lookup(qname string, qtype dnswire.Type) (LookupResult, []dnswire.RR, []dnswire.RR) {
+func (v *ZoneView) Lookup(qname string, qtype dnswire.Type) (LookupResult, []dnswire.RR, []dnswire.RR) {
 	qname = dnswire.CanonicalName(qname)
 	var answers []dnswire.RR
 	seen := map[string]bool{}
@@ -150,12 +524,12 @@ func (z *Zone) Lookup(qname string, qtype dnswire.Type) (LookupResult, []dnswire
 		// Delegation check: an NS set at a name strictly between the
 		// apex and qname (or at qname itself when qtype != NS at apex)
 		// produces a referral.
-		if deleg := z.findDelegation(qname); deleg != "" {
-			nsSet := cloneRRs(z.rrs[deleg][dnswire.TypeNS])
+		if deleg := v.findDelegation(qname); deleg != "" {
+			nsSet := cloneRRs(v.rrs[deleg][dnswire.TypeNS])
 			var glue []dnswire.RR
 			for _, ns := range nsSet {
 				target := dnswire.CanonicalName(ns.(*dnswire.NS).NS)
-				if byType, ok := z.rrs[target]; ok {
+				if byType, ok := v.rrs[target]; ok {
 					glue = append(glue, cloneRRs(byType[dnswire.TypeA])...)
 					glue = append(glue, cloneRRs(byType[dnswire.TypeAAAA])...)
 				}
@@ -163,17 +537,17 @@ func (z *Zone) Lookup(qname string, qtype dnswire.Type) (LookupResult, []dnswire
 			return LookupDelegation, answers, append(nsSet, glue...)
 		}
 
-		byType, ok := z.rrs[qname]
+		byType, ok := v.rrs[qname]
 		if !ok {
 			// Wildcard synthesis.
-			if wc := z.findWildcard(qname); wc != nil {
+			if wc := v.findWildcard(qname); wc != nil {
 				byType = wc
 			} else {
 				if len(answers) > 0 {
 					// CNAME chain left the populated namespace.
 					return LookupSuccess, answers, nil
 				}
-				return LookupNXDomain, nil, z.negativeAuthority()
+				return LookupNXDomain, nil, v.negativeAuthority()
 			}
 		}
 		if rrs, ok := byType[qtype]; ok && len(rrs) > 0 {
@@ -184,7 +558,7 @@ func (z *Zone) Lookup(qname string, qtype dnswire.Type) (LookupResult, []dnswire
 			rec := synthesize(cloneRRs(cn[:1]), qname)[0].(*dnswire.CNAME)
 			answers = append(answers, rec)
 			target := dnswire.CanonicalName(rec.Target)
-			if !dnswire.IsSubdomain(z.Origin, target) {
+			if !dnswire.IsSubdomain(v.Origin, target) {
 				// Chain leaves the zone: the resolver continues it.
 				return LookupSuccess, answers, nil
 			}
@@ -194,19 +568,19 @@ func (z *Zone) Lookup(qname string, qtype dnswire.Type) (LookupResult, []dnswire
 		if len(answers) > 0 {
 			return LookupSuccess, answers, nil
 		}
-		return LookupNoData, nil, z.negativeAuthority()
+		return LookupNoData, nil, v.negativeAuthority()
 	}
 	return LookupSuccess, answers, nil
 }
 
 // findDelegation returns the closest enclosing owner of qname that
 // holds an NS set below the apex, or "".
-func (z *Zone) findDelegation(qname string) string {
-	for name := qname; name != "." && dnswire.IsSubdomain(z.Origin, name); name = dnswire.Parent(name) {
-		if name == z.Origin {
+func (v *ZoneView) findDelegation(qname string) string {
+	for name := qname; name != "." && dnswire.IsSubdomain(v.Origin, name); name = dnswire.Parent(name) {
+		if name == v.Origin {
 			break
 		}
-		if byType, ok := z.rrs[name]; ok {
+		if byType, ok := v.rrs[name]; ok {
 			if _, hasNS := byType[dnswire.TypeNS]; hasNS {
 				return name
 			}
@@ -216,12 +590,12 @@ func (z *Zone) findDelegation(qname string) string {
 }
 
 // findWildcard looks for "*.<parent>" owners covering qname.
-func (z *Zone) findWildcard(qname string) map[dnswire.Type][]dnswire.RR {
-	for name := dnswire.Parent(qname); dnswire.IsSubdomain(z.Origin, name); name = dnswire.Parent(name) {
-		if byType, ok := z.rrs["*."+strings.TrimPrefix(name, ".")]; ok {
+func (v *ZoneView) findWildcard(qname string) map[dnswire.Type][]dnswire.RR {
+	for name := dnswire.Parent(qname); dnswire.IsSubdomain(v.Origin, name); name = dnswire.Parent(name) {
+		if byType, ok := v.rrs["*."+strings.TrimPrefix(name, ".")]; ok {
 			return byType
 		}
-		if name == z.Origin || name == "." {
+		if name == v.Origin || name == "." {
 			break
 		}
 	}
@@ -238,11 +612,11 @@ func synthesize(rrs []dnswire.RR, qname string) []dnswire.RR {
 	return rrs
 }
 
-func (z *Zone) negativeAuthority() []dnswire.RR {
-	if z.soa == nil {
+func (v *ZoneView) negativeAuthority() []dnswire.RR {
+	if v.soa == nil {
 		return nil
 	}
-	return []dnswire.RR{z.soa.Clone()}
+	return []dnswire.RR{v.soa.Clone()}
 }
 
 func cloneRRs(rrs []dnswire.RR) []dnswire.RR {
@@ -255,26 +629,56 @@ func cloneRRs(rrs []dnswire.RR) []dnswire.RR {
 
 // ZonePlugin serves authoritative answers from a set of zones,
 // matching the longest enclosing origin. Queries outside every zone
-// fall through to the next plugin.
+// fall through to the next plugin. The zone set itself is an immutable
+// snapshot swapped atomically, so zones can be added or replaced while
+// serving without a lock on the query path.
 type ZonePlugin struct {
-	zones map[string]*Zone
+	zones atomic.Pointer[map[string]*Zone]
+	wmu   sync.Mutex
 }
 
 // NewZonePlugin builds the plugin from zones.
 func NewZonePlugin(zones ...*Zone) *ZonePlugin {
-	p := &ZonePlugin{zones: make(map[string]*Zone, len(zones))}
+	p := &ZonePlugin{}
+	m := make(map[string]*Zone, len(zones))
 	for _, z := range zones {
-		p.zones[z.Origin] = z
+		m[z.Origin] = z
 	}
+	p.zones.Store(&m)
 	return p
 }
 
-// AddZone registers another zone.
-func (p *ZonePlugin) AddZone(z *Zone) { p.zones[z.Origin] = z }
+// AddZone registers (or replaces) a zone.
+func (p *ZonePlugin) AddZone(z *Zone) {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	old := *p.zones.Load()
+	m := make(map[string]*Zone, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[z.Origin] = z
+	p.zones.Store(&m)
+}
 
 // Zone returns the registered zone with the given origin, or nil.
 func (p *ZonePlugin) Zone(origin string) *Zone {
-	return p.zones[dnswire.CanonicalName(origin)]
+	return (*p.zones.Load())[dnswire.CanonicalName(origin)]
+}
+
+// Zones returns the registered zones, sorted by origin.
+func (p *ZonePlugin) Zones() []*Zone {
+	m := *p.zones.Load()
+	origins := make([]string, 0, len(m))
+	for o := range m {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	out := make([]*Zone, len(origins))
+	for i, o := range origins {
+		out[i] = m[o]
+	}
+	return out
 }
 
 // Name implements Plugin.
@@ -283,7 +687,7 @@ func (p *ZonePlugin) Name() string { return "zone" }
 // match finds the longest registered origin enclosing qname.
 func (p *ZonePlugin) match(qname string) *Zone {
 	var best *Zone
-	for origin, z := range p.zones {
+	for origin, z := range *p.zones.Load() {
 		if dnswire.IsSubdomain(origin, qname) {
 			if best == nil || dnswire.CountLabels(origin) > dnswire.CountLabels(best.Origin) {
 				best = z
@@ -300,7 +704,10 @@ func (p *ZonePlugin) ServeDNS(ctx context.Context, w ResponseWriter, r *Request,
 		return next.ServeDNS(ctx, w, r)
 	}
 	endHop := telemetry.StartHop(ctx, "zone")
-	result, answers, authority := z.Lookup(r.Name(), r.Type())
+	// One view load per query: the answer, authority, and serial all
+	// come from the same snapshot even if a writer publishes mid-query.
+	view := z.View()
+	result, answers, authority := view.Lookup(r.Name(), r.Type())
 	endHop(z.Origin)
 	m := new(dnswire.Message)
 	m.SetReply(r.Msg)
@@ -346,34 +753,34 @@ func (p *ZonePlugin) ServeDNS(ctx context.Context, w ResponseWriter, r *Request,
 // "owner [ttl] [IN] type rdata...", with "@" denoting the origin,
 // unqualified owners made relative to it, and ";" comments. It exists
 // so cmd/dnsd can serve operator-authored zones; programmatic callers
-// use the Zone builder methods.
+// use the Zone builder methods. The whole file becomes one revision:
+// an explicit SOA line's serial is adopted verbatim.
 func ParseZone(origin string, r io.Reader) (*Zone, error) {
 	z := NewZone(origin)
-	sc := bufio.NewScanner(r)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if i := strings.IndexByte(line, ';'); i >= 0 {
-			line = line[:i]
+	err := z.Update(func(b *ZoneBuilder) error {
+		sc := bufio.NewScanner(r)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := sc.Text()
+			if i := strings.IndexByte(line, ';'); i >= 0 {
+				line = line[:i]
+			}
+			fields := strings.Fields(line)
+			if len(fields) == 0 {
+				continue
+			}
+			rr, err := parseRecordLine(b.origin, fields)
+			if err != nil {
+				return fmt.Errorf("zone %s line %d: %w", origin, lineNo, err)
+			}
+			if err := b.Add(rr); err != nil {
+				return fmt.Errorf("zone %s line %d: %w", origin, lineNo, err)
+			}
 		}
-		fields := strings.Fields(line)
-		if len(fields) == 0 {
-			continue
-		}
-		rr, err := parseRecordLine(z.Origin, fields)
-		if err != nil {
-			return nil, fmt.Errorf("zone %s line %d: %w", origin, lineNo, err)
-		}
-		if rr.Header().Type == dnswire.TypeSOA {
-			z.SetSOA(rr.(*dnswire.SOA))
-			continue
-		}
-		if err := z.Add(rr); err != nil {
-			return nil, fmt.Errorf("zone %s line %d: %w", origin, lineNo, err)
-		}
-	}
-	if err := sc.Err(); err != nil {
+		return sc.Err()
+	})
+	if err != nil {
 		return nil, err
 	}
 	return z, nil

@@ -40,6 +40,7 @@ const (
 	TypeAAAA  Type = 28
 	TypeSRV   Type = 33
 	TypeOPT   Type = 41
+	TypeIXFR  Type = 251
 	TypeAXFR  Type = 252
 	TypeANY   Type = 255
 )
@@ -56,6 +57,7 @@ var typeNames = map[Type]string{
 	TypeAAAA:  "AAAA",
 	TypeSRV:   "SRV",
 	TypeOPT:   "OPT",
+	TypeIXFR:  "IXFR",
 	TypeAXFR:  "AXFR",
 	TypeANY:   "ANY",
 }

@@ -18,6 +18,7 @@ import (
 //	/healthz        readiness probe (503 while draining)
 //	/health         health-registry snapshot as JSON (404 if unwired)
 //	/routes         subnet→PoP routing-table summary as JSON (404 if unwired)
+//	/reload         POST: online config/zone reload (404 if unwired)
 //	/querylog       drains the sampled query log as JSON lines
 //	/debug/pprof/   the standard Go profiling handlers
 type Admin struct {
@@ -38,6 +39,10 @@ type Admin struct {
 	// Routes backs /routes with a JSON-serializable summary of the
 	// subnet→PoP routing table; nil returns 404.
 	Routes func() any
+	// Reload backs POST /reload: re-parse configuration files and swap
+	// the serving snapshots in place (the SIGHUP path over HTTP); nil
+	// returns 404. GET is rejected — reloading mutates state.
+	Reload func() error
 
 	mu  sync.Mutex
 	ln  net.Listener
@@ -81,6 +86,23 @@ func (a *Admin) Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(a.Routes())
+	})
+	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
+		if a.Reload == nil {
+			http.NotFound(w, r)
+			return
+		}
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := a.Reload(); err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			_ = json.NewEncoder(w).Encode(map[string]string{"status": "error", "error": err.Error()})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("/querylog", func(w http.ResponseWriter, r *http.Request) {
 		if a.Log == nil {
