@@ -352,6 +352,70 @@ func BenchmarkRouterWithRegistry(b *testing.B) {
 
 // --- Ablation: placement scheme ------------------------------------
 
+// BenchmarkRingOwners is the zero-alloc gate on the ring's owner walk:
+// OwnersAppend into a caller-owned backing array must not touch the
+// heap. BenchmarkRingOwnersBounded measures the bounded-load variant
+// (load sum + cap check + spill walk) against it; the acceptance bar
+// is < 2× the plain walk.
+func BenchmarkRingOwners(b *testing.B) {
+	b.ReportAllocs()
+	ring := cdn.NewHashRing()
+	for i := 0; i < 16; i++ {
+		ring.Add(fmt.Sprintf("server-%d", i))
+	}
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	var buf [8]string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		owners := ring.OwnersAppend(buf[:0], keys[i%len(keys)], 2)
+		if len(owners) != 2 {
+			b.Fatal("short owner walk")
+		}
+		// Router.Route records the routing decision in both plain and
+		// bounded modes (so a live -ring-bounded flip starts with warm
+		// counters); charge it to both benchmarks for a fair delta.
+		ring.RecordLoad(owners[0])
+		if i%256 == 255 {
+			ring.DecayLoads(0.5)
+		}
+	}
+}
+
+func BenchmarkRingOwnersBounded(b *testing.B) {
+	b.ReportAllocs()
+	ring := cdn.NewHashRing()
+	ring.Bounded = true
+	for i := 0; i < 16; i++ {
+		ring.Add(fmt.Sprintf("server-%d", i))
+	}
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	var buf [8]string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		owners := ring.OwnersAppend(buf[:0], keys[i%len(keys)], 2)
+		if len(owners) != 2 {
+			b.Fatal("short owner walk")
+		}
+		ring.RecordLoad(owners[0])
+		if i%256 == 255 {
+			// The documented operating regime: loads decay on a fixed
+			// cadence (dnsd ties it to the probe sweep), keeping the
+			// counters a recent-traffic window rather than letting the
+			// ring pack itself to the cap and degenerate into long
+			// spill walks.
+			ring.DecayLoads(0.5)
+		}
+	}
+	b.ReportMetric(float64(ring.Spills())/float64(b.N), "spills/op")
+	b.ReportMetric(float64(ring.CapRejections())/float64(b.N), "rejects/op")
+}
+
 func BenchmarkPlacementHashRing(b *testing.B) {
 	b.ReportAllocs()
 	ring := cdn.NewHashRing()

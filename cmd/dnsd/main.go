@@ -99,6 +99,8 @@ func main() {
 		loadLow     = flag.Float64("load-low", 0, "ingress-load low watermark; routing restores after load stays below it (0 means half of -load-high)")
 		cdnDomain   = flag.String("cdn-domain", "", "CDN domain served by the embedded C-DNS request router (empty disables)")
 		routes      = flag.String("routes", "", "subnet→PoP routes file for the C-DNS router, one \"prefix popID\" per line; requires -cdn-domain")
+		ringBounded = flag.Bool("ring-bounded", false, "bounded-load routing: cap each CDN cache at -ring-load-factor times the mean load, spilling hot keys to the next ring owner with capacity; requires -cdn-domain")
+		ringFactor  = flag.Float64("ring-load-factor", 1.25, "bounded-load cap as a multiple of the mean per-cache load (must be > 1); requires -cdn-domain")
 		zones       repeated
 		stubs       repeated
 		pops        repeated
@@ -135,6 +137,8 @@ func main() {
 		loadLow:     *loadLow,
 		cdnDomain:   *cdnDomain,
 		routes:      *routes,
+		ringBounded: *ringBounded,
+		ringFactor:  *ringFactor,
 		zones:       zones,
 		stubs:       stubs,
 		pops:        pops,
@@ -163,6 +167,8 @@ type serverConfig struct {
 	downAfter, upAfter     int
 	loadHigh, loadLow      float64
 	cdnDomain, routes      string
+	ringBounded            bool
+	ringFactor             float64
 	zones, stubs, pops     []string
 }
 
@@ -408,6 +414,15 @@ func build(cfg serverConfig) (*daemon, error) {
 	var router *meccdn.Router
 	if cfg.cdnDomain != "" {
 		router = meccdn.NewRouter(cfg.cdnDomain)
+		if cfg.ringBounded && cfg.ringFactor <= 1 {
+			return nil, fmt.Errorf("-ring-load-factor must be > 1, got %v", cfg.ringFactor)
+		}
+		router.Ring.Bounded = cfg.ringBounded
+		router.Ring.LoadFactor = cfg.ringFactor
+		if cfg.ringBounded {
+			fmt.Printf("bounded-load routing for %s: cap %.2fx mean\n",
+				meccdn.CanonicalName(cfg.cdnDomain), cfg.ringFactor)
+		}
 		for _, p := range cfg.pops {
 			idStr, addrStr, ok := strings.Cut(p, "=")
 			if !ok {
@@ -440,6 +455,8 @@ func build(cfg serverConfig) (*daemon, error) {
 		plugins = append(plugins, router)
 	} else if cfg.routes != "" || len(cfg.pops) > 0 {
 		return nil, fmt.Errorf("-routes and -pop require -cdn-domain")
+	} else if cfg.ringBounded {
+		return nil, fmt.Errorf("-ring-bounded requires -cdn-domain")
 	}
 
 	var fwd *meccdn.Forward
@@ -542,6 +559,12 @@ func build(cfg serverConfig) (*daemon, error) {
 			Prober:     &meccdn.DNSProber{Client: client},
 			Background: srv,
 			Load:       srv.IngressLoad,
+		}
+		if router != nil {
+			// Halve the ring's per-cache load counters each probe
+			// sweep so the bounded-load cap tracks a recent-traffic
+			// window at the same cadence the health view refreshes.
+			d.checker.OnSweep = func() { router.Ring.DecayLoads(0.5) }
 		}
 	}
 	if cfg.admin != "" {

@@ -250,6 +250,53 @@ func TestBuildCDNRouter(t *testing.T) {
 	}
 }
 
+func TestBuildRingFlags(t *testing.T) {
+	d, err := build(serverConfig{
+		listen:      "127.0.0.1:0",
+		cdnDomain:   "mycdn.dnsd.test.",
+		ringBounded: true,
+		ringFactor:  1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.router.Ring.Bounded {
+		t.Error("-ring-bounded not plumbed into the ring")
+	}
+	if d.router.Ring.LoadFactor != 1.5 {
+		t.Errorf("-ring-load-factor = %v, want 1.5", d.router.Ring.LoadFactor)
+	}
+	// With probing enabled too, the sweep hook decays the ring loads.
+	d2, err := build(serverConfig{
+		listen:      "127.0.0.1:0",
+		forward:     "192.0.2.10:53",
+		probeIvl:    time.Second,
+		cdnDomain:   "mycdn.dnsd.test.",
+		ringBounded: true,
+		ringFactor:  1.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.checker == nil || d2.checker.OnSweep == nil {
+		t.Fatal("ring decay not hooked to the probe sweep")
+	}
+	d2.router.Ring.Add("cache-x")
+	d2.router.Ring.RecordLoad("cache-x")
+	d2.router.Ring.RecordLoad("cache-x")
+	d2.checker.OnSweep()
+	if got := d2.router.Ring.Load("cache-x"); got != 1 {
+		t.Errorf("load after one sweep = %d, want 1 (decay 0.5)", got)
+	}
+	// Bounded without a CDN router is a config error, as is c <= 1.
+	if _, err := build(serverConfig{listen: ":0", ringBounded: true}); err == nil {
+		t.Error("-ring-bounded without -cdn-domain accepted")
+	}
+	if _, err := build(serverConfig{listen: ":0", cdnDomain: "d.test.", ringBounded: true, ringFactor: 1.0}); err == nil {
+		t.Error("-ring-load-factor 1.0 accepted")
+	}
+}
+
 func TestBuildRoutesRequireCDNDomain(t *testing.T) {
 	if _, err := build(serverConfig{listen: ":0", routes: "whatever"}); err == nil {
 		t.Error("-routes without -cdn-domain accepted")

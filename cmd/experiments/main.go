@@ -8,7 +8,8 @@
 //	experiments -fig 2|3|5           # one figure
 //	experiments -fig 5 -air 5g       # Figure 5 with the 5G projection
 //	experiments -ecs                 # the §4 ECS comparison
-//	experiments -x fallback|disagg|ipreuse|loadshed|ecsroute
+//	experiments -x fallback|disagg|ipreuse|loadshed|ecsroute|loadbalance
+//	experiments -x loadbalance -ues 2000000   # X8 at a custom UE scale
 //	experiments -seed 7 -runs 25     # change determinism / precision
 package main
 
@@ -27,21 +28,23 @@ func main() {
 		fig    = flag.Int("fig", 0, "regenerate figure 2, 3, or 5")
 		air    = flag.String("air", "4g", "air interface for figure 5: 4g or 5g")
 		ecs    = flag.Bool("ecs", false, "run the §4 ECS experiment")
-		ext    = flag.String("x", "", "extension experiment: fallback, disagg, ipreuse, loadshed, ecsroute")
+		ext    = flag.String("x", "", "extension experiment: fallback, disagg, ipreuse, loadshed, ecsroute, loadbalance")
 		all    = flag.Bool("all", false, "run everything")
 		seed   = flag.Int64("seed", 42, "simulation seed")
 		runs   = flag.Int("runs", 15, "runs per bar")
+		ues    = flag.Int("ues", 0, "X8 logical UE population (0 means 1.2M)")
+		reqs   = flag.Int("requests", 0, "X8 peak requests per tick (0 means ues/20)")
 		format = flag.String("format", "text", "output format for figures: text or csv")
 	)
 	flag.Parse()
 
-	if err := run(*table, *fig, *air, *ecs, *ext, *all, *seed, *runs, *format); err != nil {
+	if err := run(*table, *fig, *air, *ecs, *ext, *all, *seed, *runs, *ues, *reqs, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table, fig int, air string, ecs bool, ext string, all bool, seed int64, runs int, format string) error {
+func run(table, fig int, air string, ecs bool, ext string, all bool, seed int64, runs, ues, reqs int, format string) error {
 	render := func(r interface {
 		Render() string
 		CSV() string
@@ -105,9 +108,14 @@ func run(table, fig int, air string, ecs bool, ext string, all bool, seed int64,
 		"sweep": func() (interface{ Render() string }, error) {
 			return experiments.BudgetSweep(experiments.SweepConfig{Seed: seed, Runs: runs})
 		},
+		"loadbalance": func() (interface{ Render() string }, error) {
+			return experiments.LoadBalance(experiments.LoadBalanceConfig{
+				Seed: seed, UEs: ues, RequestsPerTick: reqs,
+			})
+		},
 	}
 	if all {
-		for _, name := range []string{"fallback", "disagg", "ipreuse", "loadshed", "sweep", "ecsroute"} {
+		for _, name := range []string{"fallback", "disagg", "ipreuse", "loadshed", "sweep", "ecsroute", "loadbalance"} {
 			res, err := exts[name]()
 			if err != nil {
 				return err
@@ -118,7 +126,7 @@ func run(table, fig int, air string, ecs bool, ext string, all bool, seed int64,
 	} else if ext != "" {
 		f, ok := exts[ext]
 		if !ok {
-			return fmt.Errorf("unknown extension %q (want fallback, disagg, ipreuse, loadshed, sweep, ecsroute)", ext)
+			return fmt.Errorf("unknown extension %q (want fallback, disagg, ipreuse, loadshed, sweep, ecsroute, loadbalance)", ext)
 		}
 		res, err := f()
 		if err != nil {

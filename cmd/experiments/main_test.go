@@ -3,46 +3,53 @@ package main
 import "testing"
 
 func TestRunTables(t *testing.T) {
-	if err := run(1, 0, "4g", false, "", false, 1, 5, "text"); err != nil {
+	if err := run(1, 0, "4g", false, "", false, 1, 5, 0, 0, "text"); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2, 0, "4g", false, "", false, 1, 5, "text"); err != nil {
+	if err := run(2, 0, "4g", false, "", false, 1, 5, 0, 0, "text"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFigures(t *testing.T) {
 	for _, fig := range []int{2, 3, 5} {
-		if err := run(0, fig, "4g", false, "", false, 1, 5, "text"); err != nil {
+		if err := run(0, fig, "4g", false, "", false, 1, 5, 0, 0, "text"); err != nil {
 			t.Fatalf("fig %d: %v", fig, err)
 		}
 	}
-	if err := run(0, 5, "5g", false, "", false, 1, 5, "text"); err != nil {
+	if err := run(0, 5, "5g", false, "", false, 1, 5, 0, 0, "text"); err != nil {
 		t.Fatalf("fig 5 5g: %v", err)
 	}
 }
 
 func TestRunECSAndExtensions(t *testing.T) {
-	if err := run(0, 0, "4g", true, "", false, 1, 5, "text"); err != nil {
+	if err := run(0, 0, "4g", true, "", false, 1, 5, 0, 0, "text"); err != nil {
 		t.Fatal(err)
 	}
 	for _, x := range []string{"fallback", "disagg", "ipreuse", "loadshed"} {
-		if err := run(0, 0, "4g", false, x, false, 1, 5, "text"); err != nil {
+		if err := run(0, 0, "4g", false, x, false, 1, 5, 0, 0, "text"); err != nil {
 			t.Fatalf("%s: %v", x, err)
 		}
 	}
-	if err := run(0, 0, "4g", false, "bogus", false, 1, 5, "text"); err == nil {
+	if err := run(0, 0, "4g", false, "bogus", false, 1, 5, 0, 0, "text"); err == nil {
 		t.Error("unknown extension accepted")
+	}
+}
+
+func TestRunLoadBalance(t *testing.T) {
+	// Small-N X8: the -ues / -requests flags flow into the config.
+	if err := run(0, 0, "4g", false, "loadbalance", false, 1, 5, 8_000, 400, "text"); err != nil {
+		t.Fatalf("loadbalance: %v", err)
 	}
 }
 
 func TestRunCSVFormat(t *testing.T) {
 	for _, fig := range []int{2, 3, 5} {
-		if err := run(0, fig, "4g", false, "", false, 1, 5, "csv"); err != nil {
+		if err := run(0, fig, "4g", false, "", false, 1, 5, 0, 0, "csv"); err != nil {
 			t.Fatalf("fig %d csv: %v", fig, err)
 		}
 	}
-	if err := run(0, 0, "4g", true, "", false, 1, 5, "csv"); err != nil {
+	if err := run(0, 0, "4g", true, "", false, 1, 5, 0, 0, "csv"); err != nil {
 		t.Fatalf("ecs csv: %v", err)
 	}
 }

@@ -24,8 +24,13 @@ var forbiddenRouterMutexFrames = []string{
 	"(*Router).subnetRoute",
 	"(*Router).Servers",
 	"(*HashRing).Owners",
+	"(*HashRing).OwnersAppend",
 	"(*HashRing).Owner",
 	"(*HashRing).Members",
+	"(*HashRing).RecordLoad",
+	"(*HashRing).Load",
+	"(*HashRing).LoadStats",
+	"(*ModuloPlacement).Owner",
 }
 
 // TestRouterServePathMutexFree is the cdn half of `make mutexprofile`:
@@ -39,6 +44,9 @@ func TestRouterServePathMutexFree(t *testing.T) {
 
 	fx := buildRouterFixture(t, 1)
 	rt := fx.router
+	// Bounded mode exercises the cap check and spill walk under the
+	// same zero-lock requirement as the plain lookup.
+	rt.Ring.Bounded = true
 	rt.MapPoP(lpm.PoP(1), netip.MustParseAddr("192.0.2.201"))
 
 	var stop atomic.Bool
@@ -48,9 +56,17 @@ func TestRouterServePathMutexFree(t *testing.T) {
 		go func(id int) {
 			defer wg.Done()
 			client := ClientInfo{Addr: netip.MustParseAddr("10.0.0.1")}
+			var ownersBuf [smallOwners]string
+			modulo := &ModuloPlacement{}
+			modulo.Add("cache-0")
 			for i := 0; !stop.Load(); i++ {
 				rt.Route(fmt.Sprintf("key-%d-%d", id, i%32), client)
 				rt.Ring.Owners("key", 2)
+				rt.Ring.OwnersAppend(ownersBuf[:0], "key", 2)
+				rt.Ring.RecordLoad("cache-0")
+				rt.Ring.Load("cache-0")
+				rt.Ring.LoadStats()
+				modulo.Owner(fmt.Sprintf("key-%d", i%8))
 				rt.Servers()
 				routerQuery(t, rt, "video.mycdn.ciab.test.", "10.0.0.1:5000")
 			}

@@ -269,6 +269,18 @@ func (rt *Router) Collectors() []telemetry.Collector {
 				}
 				return 0
 			}),
+		telemetry.NewGaugeFunc("meccdn_ring_members",
+			"Members currently on the consistent-hash ring.",
+			func() float64 { return float64(rt.Ring.NumMembers()) }),
+		telemetry.NewGaugeFunc("meccdn_ring_load_spread",
+			"Max/mean member load on the hash ring (1.0 is perfectly even; a bounded ring stays ≤ its load factor).",
+			rt.Ring.LoadSpread),
+		telemetry.NewCounterFunc("meccdn_ring_spills_total",
+			"Bounded-load lookups that spilled past a saturated hash-primary owner.",
+			func() float64 { return float64(rt.Ring.Spills()) }),
+		telemetry.NewCounterFunc("meccdn_ring_cap_rejections_total",
+			"Saturated ring members skipped during bounded-load spill walks.",
+			func() float64 { return float64(rt.Ring.CapRejections()) }),
 	}
 }
 
@@ -636,7 +648,12 @@ func (rt *Router) Route(key string, client ClientInfo) *ServerInfo {
 	if replicas <= 0 {
 		replicas = 2
 	}
-	var preferred, degraded []*ServerInfo
+	// Candidate scratch lives on the stack: the ring walk appends into
+	// a fixed backing array (append spills to the heap only past
+	// smallOwners candidates), keeping the no-spill Route allocation-
+	// free through candidate selection.
+	var prefArr, degArr [smallOwners]*ServerInfo
+	preferred, degraded := prefArr[:0], degArr[:0]
 	consider := func(name string) {
 		s := st.servers[name]
 		if s == nil || !s.Server.Healthy() {
@@ -655,7 +672,8 @@ func (rt *Router) Route(key string, client ClientInfo) *ServerInfo {
 			preferred = append(preferred, s)
 		}
 	}
-	for _, name := range rt.Ring.Owners(key, replicas) {
+	var ownersBuf [smallOwners]string
+	for _, name := range rt.Ring.OwnersAppend(ownersBuf[:0], key, replicas) {
 		consider(name)
 	}
 	if len(preferred) == 0 && len(degraded) == 0 {
@@ -681,7 +699,16 @@ func (rt *Router) Route(key string, client ClientInfo) *ServerInfo {
 	if policy == nil {
 		policy = AvailabilityFirst{}
 	}
-	return policy.Select(candidates, key, client)
+	selected := policy.Select(candidates, key, client)
+	if selected != nil {
+		// Feed the ring's load cells: one unit per routing decision,
+		// charged to the server the policy actually picked (which may
+		// differ from the bounded walk's first owner). The bounded
+		// lookup's cap reads these counters; under a plain ring they
+		// only drive the meccdn_ring_* load metrics.
+		rt.Ring.RecordLoad(selected.Server.Name)
+	}
+	return selected
 }
 
 // clientInfo assembles what the router knows about the requester.

@@ -48,6 +48,11 @@ type Checker struct {
 	// Load, when set, is sampled once per sweep and fed to
 	// Registry.ReportLoad, driving the ingress watermark switch.
 	Load func() float64
+	// OnSweep, when set, runs once per sweep after the load sample —
+	// the hook the C-DNS router uses to decay its hash-ring load
+	// counters in step with the probe cadence, so the bounded-load
+	// cap tracks a recent-traffic window.
+	OnSweep func()
 
 	mu   sync.Mutex
 	rng  *rand.Rand
@@ -133,6 +138,9 @@ func (c *Checker) sweep(stop <-chan struct{}) {
 	if c.Load != nil {
 		c.Registry.ReportLoad(c.Load())
 	}
+	if c.OnSweep != nil {
+		c.OnSweep()
+	}
 	targets := c.Registry.Targets()
 	if len(targets) == 0 || c.Prober == nil {
 		return
@@ -164,6 +172,9 @@ func (c *Checker) sweep(stop <-chan struct{}) {
 func (c *Checker) RunOnce(ctx context.Context) {
 	if c.Load != nil {
 		c.Registry.ReportLoad(c.Load())
+	}
+	if c.OnSweep != nil {
+		c.OnSweep()
 	}
 	if c.Prober == nil {
 		return
