@@ -31,6 +31,7 @@ import (
 	"github.com/meccdn/meccdn/internal/health"
 	"github.com/meccdn/meccdn/internal/lpm"
 	"github.com/meccdn/meccdn/internal/lte"
+	"github.com/meccdn/meccdn/internal/mesh"
 	"github.com/meccdn/meccdn/internal/simnet"
 	"github.com/meccdn/meccdn/internal/stats"
 	"github.com/meccdn/meccdn/internal/vclock"
@@ -1034,3 +1035,46 @@ func benchmarkLPMLookup(b *testing.B, rows int) {
 func BenchmarkLPMLookup10k(b *testing.B)  { benchmarkLPMLookup(b, 10_000) }
 func BenchmarkLPMLookup100k(b *testing.B) { benchmarkLPMLookup(b, 100_000) }
 func BenchmarkLPMLookup1M(b *testing.B)   { benchmarkLPMLookup(b, 1_000_000) }
+
+// BenchmarkRoutePeerLookup is the mesh read plane's gate: consulting
+// the federated peer view on the miss path must be one atomic snapshot
+// load — no locks, no allocations, ≤1µs — since it sits on the C-DNS
+// serve path in front of the parent-tier fallback. Four peers each
+// announce a 256-key digest; half the probed keys steer, half miss.
+func BenchmarkRoutePeerLookup(b *testing.B) {
+	b.ReportAllocs()
+	agent := mesh.NewAgent(mesh.Config{Site: "local", Clock: &vclock.Fixed{}})
+	for p := 0; p < 4; p++ {
+		d := mesh.NewDigest(8192, 4)
+		for i := 0; i < 256; i++ {
+			d.Add(fmt.Sprintf("obj-%d-%d.bench.test.", p, i))
+		}
+		ann, err := mesh.EncodeAnnounce(fmt.Sprintf("peer-%d", p),
+			fmt.Sprintf("10.8.0.%d", p+2), 1, d.Entries(), 0.1, d.Hashes(), d.Bitmap())
+		if err != nil {
+			b.Fatal(err)
+		}
+		agent.HandleDatagram(ann)
+	}
+	router := cdn.NewRouter("bench.test.")
+	router.UseMesh(agent.View())
+	keys := make([]string, 128)
+	for i := range keys {
+		if i%2 == 0 {
+			keys[i] = fmt.Sprintf("obj-%d-%d.bench.test.", i%4, i)
+		} else {
+			keys[i] = fmt.Sprintf("cold-%d.bench.test.", i)
+		}
+	}
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := router.PeerLookup(keys[i%len(keys)]); ok {
+			hits++
+		}
+	}
+	b.StopTimer()
+	if b.N >= len(keys) && hits == 0 {
+		b.Fatal("no lookup ever steered")
+	}
+}

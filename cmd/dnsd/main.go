@@ -33,11 +33,22 @@
 // are exported as meccdn_route_lookups_total / meccdn_route_rows and
 // summarized on the admin /routes endpoint.
 //
+// -mesh joins the embedded C-DNS to a federated multi-MEC mesh: it
+// listens for ANNOUNCE/DIGEST datagrams on the given UDP address,
+// gossips this site's content digest to every -peers target (repeat
+// the flag: name=host:port) on the -announce-interval cadence, and
+// steers cache misses to the sibling MEC whose announced digest holds
+// the object before falling back to the parent tier. Peer liveness is
+// scored by a dedicated health registry fed by announce exchanges;
+// the peer view is summarized on admin /mesh and exported as the
+// meccdn_mesh_* metric families. -mesh-name sets the announced site
+// identity (default: hostname). Requires -cdn-domain.
+//
 // -admin starts a side HTTP listener with /metrics (Prometheus text),
 // /healthz (503 while draining), /health (upstream health JSON),
-// /routes (subnet-table summary), /reload (POST: online config
-// reload), /querylog (sampled JSON-lines trace, rate set by
-// -qlog-sample) and /debug/pprof. On SIGTERM/SIGINT the server
+// /routes (subnet-table summary), /mesh (peer-view JSON), /reload
+// (POST: online config reload), /querylog (sampled JSON-lines trace,
+// rate set by -qlog-sample) and /debug/pprof. On SIGTERM/SIGINT the server
 // drains: it stops accepting, waits up to -drain for in-flight
 // queries, then prints the session's stats.
 //
@@ -53,6 +64,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -101,13 +113,18 @@ func main() {
 		routes      = flag.String("routes", "", "subnet→PoP routes file for the C-DNS router, one \"prefix popID\" per line; requires -cdn-domain")
 		ringBounded = flag.Bool("ring-bounded", false, "bounded-load routing: cap each CDN cache at -ring-load-factor times the mean load, spilling hot keys to the next ring owner with capacity; requires -cdn-domain")
 		ringFactor  = flag.Float64("ring-load-factor", 1.25, "bounded-load cap as a multiple of the mean per-cache load (must be > 1); requires -cdn-domain")
+		meshAddr    = flag.String("mesh", "", "UDP listen address for federated-mesh ANNOUNCE/DIGEST gossip (empty disables); requires -cdn-domain")
+		meshName    = flag.String("mesh-name", "", "site name announced to mesh peers (default: hostname); requires -mesh")
+		announceIvl = flag.Duration("announce-interval", 2*time.Second, "mesh announce cadence; requires -mesh")
 		zones       repeated
 		stubs       repeated
 		pops        repeated
+		peers       repeated
 	)
 	flag.Var(&zones, "zone", "origin=path to a zone file (repeatable)")
 	flag.Var(&stubs, "stub", "domain=upstream for stub-domain routing (repeatable)")
 	flag.Var(&pops, "pop", "id=addr answer address for a PoP in the routes file (repeatable); requires -cdn-domain")
+	flag.Var(&peers, "peers", "name=host:port mesh peer to announce to (repeatable); requires -mesh")
 	flag.Parse()
 
 	cfg := serverConfig{
@@ -139,9 +156,13 @@ func main() {
 		routes:      *routes,
 		ringBounded: *ringBounded,
 		ringFactor:  *ringFactor,
+		meshAddr:    *meshAddr,
+		meshName:    *meshName,
+		announceIvl: *announceIvl,
 		zones:       zones,
 		stubs:       stubs,
 		pops:        pops,
+		peers:       peers,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dnsd:", err)
@@ -169,7 +190,10 @@ type serverConfig struct {
 	cdnDomain, routes      string
 	ringBounded            bool
 	ringFactor             float64
+	meshAddr, meshName     string
+	announceIvl            time.Duration
 	zones, stubs, pops     []string
+	peers                  []string
 }
 
 // daemon is the assembled-but-not-started server process.
@@ -182,6 +206,8 @@ type daemon struct {
 	health   *meccdn.HealthRegistry // nil unless -probe-interval was given
 	checker  *meccdn.HealthChecker  // probe loop feeding health
 	router   *meccdn.Router         // nil unless -cdn-domain was given
+	mesh     *meccdn.MeshAgent      // nil unless -mesh was given
+	meshAddr string                 // mesh UDP listen address
 	reloader *reloader              // nil when nothing is reloadable
 }
 
@@ -289,13 +315,26 @@ func run(cfg serverConfig) error {
 		fmt.Printf("health probing %d upstreams every %v (down after %d failures, up after %d successes)\n",
 			len(d.health.Targets()), hc.ProbeInterval, hc.DownAfter, hc.UpAfter)
 	}
+	if d.mesh != nil {
+		conn, err := net.ListenPacket("udp", d.meshAddr)
+		if err != nil {
+			d.srv.Close()
+			return err
+		}
+		defer conn.Close()
+		go func() { _ = d.mesh.ServeUDP(conn) }()
+		d.mesh.Start()
+		defer d.mesh.Stop()
+		fmt.Printf("mesh gossip on %v as %q, announcing to %d peer(s) every %v\n",
+			conn.LocalAddr(), d.mesh.Site(), len(d.mesh.PeerNames()), cfg.announceIvl)
+	}
 	if d.admin != nil {
 		if err := d.admin.Start(); err != nil {
 			d.srv.Close()
 			return err
 		}
 		defer d.admin.Close()
-		fmt.Printf("admin endpoint on http://%v (/metrics /healthz /health /routes /reload /querylog /debug/pprof)\n", d.admin.LocalAddr())
+		fmt.Printf("admin endpoint on http://%v (/metrics /healthz /health /routes /mesh /reload /querylog /debug/pprof)\n", d.admin.LocalAddr())
 	}
 	fmt.Printf("dnsd listening on %v (UDP+TCP); Ctrl-C to stop, SIGHUP to reload\n", d.srv.LocalAddr())
 
@@ -457,6 +496,11 @@ func build(cfg serverConfig) (*daemon, error) {
 		return nil, fmt.Errorf("-routes and -pop require -cdn-domain")
 	} else if cfg.ringBounded {
 		return nil, fmt.Errorf("-ring-bounded requires -cdn-domain")
+	} else if cfg.meshAddr != "" {
+		return nil, fmt.Errorf("-mesh requires -cdn-domain")
+	}
+	if cfg.meshAddr == "" && len(cfg.peers) > 0 {
+		return nil, fmt.Errorf("-peers requires -mesh")
 	}
 
 	var fwd *meccdn.Forward
@@ -545,6 +589,54 @@ func build(cfg serverConfig) (*daemon, error) {
 		return nil, err
 	}
 	d := &daemon{srv: srv, metrics: metrics, cache: cache, hub: hub, health: reg, router: router}
+	if cfg.meshAddr != "" && router != nil {
+		var meshPeers []meccdn.MeshPeer
+		for _, p := range cfg.peers {
+			name, addr, ok := strings.Cut(p, "=")
+			if !ok {
+				return nil, fmt.Errorf("bad -peers %q, want name=host:port", p)
+			}
+			if _, err := netip.ParseAddrPort(addr); err != nil {
+				return nil, fmt.Errorf("bad -peers address %q: %w", addr, err)
+			}
+			meshPeers = append(meshPeers, meccdn.MeshPeer{Name: name, Addr: addr})
+		}
+		// Peer liveness gets a registry of its own: the main registry's
+		// DNSProber speaks NS queries, which mesh UDP endpoints do not,
+		// and its meccdn_health_* families are already registered above.
+		// Liveness is fed by the announce exchanges themselves, so this
+		// registry needs no checker and exports nothing.
+		meshHealth := meccdn.NewHealthRegistry(meccdn.HealthConfig{
+			DownAfter: cfg.downAfter,
+			UpAfter:   cfg.upAfter,
+		})
+		site := cfg.meshName
+		if site == "" {
+			site, _ = os.Hostname()
+		}
+		if site == "" {
+			site = "dnsd"
+		}
+		// Peers refer steered clients to this server's own DNS address.
+		answer := cfg.listen
+		if ap, err := netip.ParseAddrPort(cfg.listen); err == nil {
+			answer = ap.Addr().String()
+		}
+		d.mesh = meccdn.NewMeshAgent(meccdn.MeshConfig{
+			Site:             site,
+			AnswerAddr:       answer,
+			Peers:            meshPeers,
+			AnnounceInterval: cfg.announceIvl,
+			Health:           meshHealth,
+			Transport:        &meccdn.MeshUDPTransport{},
+			Load:             srv.IngressLoad,
+		})
+		d.meshAddr = cfg.meshAddr
+		router.UseMesh(d.mesh.View())
+		if err := hub.Registry.Register(d.mesh.Collectors()...); err != nil {
+			return nil, err
+		}
+	}
 	if len(zoneSources) > 0 || cfg.routes != "" {
 		d.reloader = newReloader(zoneSources, cfg.routes, router, cache)
 		if err := hub.Registry.Register(d.reloader.collectors()...); err != nil {
@@ -590,6 +682,9 @@ func build(cfg serverConfig) (*daemon, error) {
 					"spans":   t.Spans(),
 				}
 			}
+		}
+		if d.mesh != nil {
+			d.admin.Mesh = func() any { return d.mesh.Snapshot() }
 		}
 		if d.reloader != nil {
 			d.admin.Reload = d.reloader.reload

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"io"
+	"net"
 	"net/http"
 	"net/netip"
 	"os"
@@ -457,5 +458,88 @@ www 60 IN A 192.0.2.100
 		if !strings.Contains(string(body), family) {
 			t.Errorf("/metrics missing %s", family)
 		}
+	}
+}
+
+func TestBuildMeshFlags(t *testing.T) {
+	if _, err := build(serverConfig{listen: ":0", meshAddr: "127.0.0.1:0"}); err == nil {
+		t.Error("-mesh without -cdn-domain should fail")
+	}
+	if _, err := build(serverConfig{listen: ":0", peers: []string{"b=127.0.0.1:9953"}}); err == nil {
+		t.Error("-peers without -mesh should fail")
+	}
+	cdn := serverConfig{listen: ":0", cdnDomain: "d.test.", meshAddr: "127.0.0.1:0"}
+	bad := cdn
+	bad.peers = []string{"noequals"}
+	if _, err := build(bad); err == nil {
+		t.Error("-peers without = should fail")
+	}
+	bad = cdn
+	bad.peers = []string{"b=notanaddr"}
+	if _, err := build(bad); err == nil {
+		t.Error("-peers with a bad address should fail")
+	}
+}
+
+// TestMeshGossipBetweenDaemons runs two dnsd builds on loopback UDP and
+// checks one announce round populates both peer views, the routers
+// consult them, and the admin /mesh endpoint reports the peer.
+func TestMeshGossipBetweenDaemons(t *testing.T) {
+	buildSite := func(name string) *daemon {
+		d, err := build(serverConfig{
+			listen:      "127.0.0.1:0",
+			cdnDomain:   "mycdn.dnsd.test.",
+			meshAddr:    "127.0.0.1:0",
+			meshName:    name,
+			announceIvl: time.Second,
+			downAfter:   2,
+			upAfter:     1,
+			admin:       "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b := buildSite("site-a"), buildSite("site-b")
+	if a.mesh == nil || b.mesh == nil || a.router.Mesh() == nil {
+		t.Fatal("mesh agent not built or not wired to the router")
+	}
+
+	serve := func(d *daemon) string {
+		conn, err := net.ListenPacket("udp", d.meshAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		go func() { _ = d.mesh.ServeUDP(conn) }()
+		return conn.LocalAddr().String()
+	}
+	addrA, addrB := serve(a), serve(b)
+	a.mesh.AddPeer(meccdn.MeshPeer{Name: "site-b", Addr: addrB})
+	b.mesh.AddPeer(meccdn.MeshPeer{Name: "site-a", Addr: addrA})
+	a.mesh.AnnounceOnce()
+	b.mesh.AnnounceOnce()
+
+	st := a.mesh.Snapshot()
+	if st.Site != "site-a" || len(st.Peers) != 1 || st.Peers[0].Name != "site-b" {
+		t.Fatalf("site-a snapshot = %+v", st)
+	}
+	if st.Peers[0].Generation == 0 {
+		t.Errorf("site-b announce not applied: %+v", st.Peers[0])
+	}
+
+	if err := a.admin.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.admin.Close()
+	resp, err := http.Get("http://" + a.admin.LocalAddr().String() + "/mesh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "site-b") {
+		t.Errorf("/mesh = %d %q", resp.StatusCode, body)
 	}
 }

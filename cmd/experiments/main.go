@@ -8,8 +8,9 @@
 //	experiments -fig 2|3|5           # one figure
 //	experiments -fig 5 -air 5g       # Figure 5 with the 5G projection
 //	experiments -ecs                 # the §4 ECS comparison
-//	experiments -x fallback|disagg|ipreuse|loadshed|ecsroute|loadbalance
+//	experiments -x fallback|disagg|ipreuse|loadshed|ecsroute|loadbalance|mesh
 //	experiments -x loadbalance -ues 2000000   # X8 at a custom UE scale
+//	experiments -x mesh -requests 200         # X9 at a custom crowd volume
 //	experiments -seed 7 -runs 25     # change determinism / precision
 package main
 
@@ -28,12 +29,12 @@ func main() {
 		fig    = flag.Int("fig", 0, "regenerate figure 2, 3, or 5")
 		air    = flag.String("air", "4g", "air interface for figure 5: 4g or 5g")
 		ecs    = flag.Bool("ecs", false, "run the §4 ECS experiment")
-		ext    = flag.String("x", "", "extension experiment: fallback, disagg, ipreuse, loadshed, ecsroute, loadbalance")
+		ext    = flag.String("x", "", "extension experiment: fallback, disagg, ipreuse, loadshed, ecsroute, loadbalance, mesh")
 		all    = flag.Bool("all", false, "run everything")
 		seed   = flag.Int64("seed", 42, "simulation seed")
 		runs   = flag.Int("runs", 15, "runs per bar")
 		ues    = flag.Int("ues", 0, "X8 logical UE population (0 means 1.2M)")
-		reqs   = flag.Int("requests", 0, "X8 peak requests per tick (0 means ues/20)")
+		reqs   = flag.Int("requests", 0, "X8/X9 peak requests per tick (0 means the experiment default)")
 		format = flag.String("format", "text", "output format for figures: text or csv")
 	)
 	flag.Parse()
@@ -113,9 +114,12 @@ func run(table, fig int, air string, ecs bool, ext string, all bool, seed int64,
 				Seed: seed, UEs: ues, RequestsPerTick: reqs,
 			})
 		},
+		"mesh": func() (interface{ Render() string }, error) {
+			return experiments.Mesh(experiments.MeshConfig{Seed: seed, RequestsPerTick: reqs})
+		},
 	}
 	if all {
-		for _, name := range []string{"fallback", "disagg", "ipreuse", "loadshed", "sweep", "ecsroute", "loadbalance"} {
+		for _, name := range []string{"fallback", "disagg", "ipreuse", "loadshed", "sweep", "ecsroute", "loadbalance", "mesh"} {
 			res, err := exts[name]()
 			if err != nil {
 				return err
@@ -126,7 +130,7 @@ func run(table, fig int, air string, ecs bool, ext string, all bool, seed int64,
 	} else if ext != "" {
 		f, ok := exts[ext]
 		if !ok {
-			return fmt.Errorf("unknown extension %q (want fallback, disagg, ipreuse, loadshed, sweep, ecsroute, loadbalance)", ext)
+			return fmt.Errorf("unknown extension %q (want fallback, disagg, ipreuse, loadshed, sweep, ecsroute, loadbalance, mesh)", ext)
 		}
 		res, err := f()
 		if err != nil {

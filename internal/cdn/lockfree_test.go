@@ -12,7 +12,9 @@ import (
 
 	"github.com/meccdn/meccdn/internal/geoip"
 	"github.com/meccdn/meccdn/internal/lpm"
+	"github.com/meccdn/meccdn/internal/mesh"
 	"github.com/meccdn/meccdn/internal/simnet"
+	"github.com/meccdn/meccdn/internal/vclock"
 )
 
 // forbiddenRouterMutexFrames are the router read-path functions that
@@ -31,6 +33,13 @@ var forbiddenRouterMutexFrames = []string{
 	"(*HashRing).Load",
 	"(*HashRing).LoadStats",
 	"(*ModuloPlacement).Owner",
+	"(*Router).RoutePeer",
+	"(*Router).PeerLookup",
+	"(*Router).selectLocal",
+	"(*View).Lookup",
+	"(*View).Steer",
+	"(*View).Nearest",
+	"(*View).Load",
 }
 
 // TestRouterServePathMutexFree is the cdn half of `make mutexprofile`:
@@ -48,6 +57,24 @@ func TestRouterServePathMutexFree(t *testing.T) {
 	// same zero-lock requirement as the plain lookup.
 	rt.Ring.Bounded = true
 	rt.MapPoP(lpm.PoP(1), netip.MustParseAddr("192.0.2.201"))
+
+	// A mesh view on the miss path is part of the certified read plane:
+	// peer lookups must stay one atomic snapshot load while announces
+	// republish underneath.
+	agent := mesh.NewAgent(mesh.Config{Site: "local", Clock: &vclock.Fixed{}})
+	announce := func(gen uint32) {
+		d := mesh.NewDigest(512, 4)
+		for j := 0; j < 16; j++ {
+			d.Add(fmt.Sprintf("key-%d", j))
+		}
+		ann, err := mesh.EncodeAnnounce("peer-1", "10.8.0.2", gen, d.Entries(), 0, d.Hashes(), d.Bitmap())
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent.HandleDatagram(ann)
+	}
+	announce(1)
+	rt.UseMesh(agent.View())
 
 	var stop atomic.Bool
 	var wg sync.WaitGroup
@@ -68,6 +95,9 @@ func TestRouterServePathMutexFree(t *testing.T) {
 				rt.Ring.LoadStats()
 				modulo.Owner(fmt.Sprintf("key-%d", i%8))
 				rt.Servers()
+				rt.PeerLookup(fmt.Sprintf("key-%d", i%32))
+				rt.RoutePeer(fmt.Sprintf("key-%d", i%32), client)
+				rt.Mesh().Nearest()
 				routerQuery(t, rt, "video.mycdn.ciab.test.", "10.0.0.1:5000")
 			}
 		}(r)
@@ -86,6 +116,8 @@ func TestRouterServePathMutexFree(t *testing.T) {
 		rt.RemoveServer("churn")
 		rt.MapPoP(lpm.PoP(1), netip.AddrFrom4([4]byte{192, 0, 2, byte(1 + i%250)}))
 		rt.BindPoP(lpm.PoP(2), fmt.Sprintf("cache-%d", i%3))
+		announce(uint32(i + 2))
+		agent.DecayLoads(0.5)
 	}
 	stop.Store(true)
 	wg.Wait()

@@ -112,6 +112,17 @@ func (l *LRU) Stats() LRUStats {
 	return s
 }
 
+// Each calls fn for every cached object, most recently used first —
+// the mesh announce path's content-table enumeration. fn runs under
+// the cache lock and must not call back into the cache.
+func (l *LRU) Each(fn func(Content)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for e := l.order.Front(); e != nil; e = e.Next() {
+		fn(e.Value.(*lruEntry).content)
+	}
+}
+
 // Flush empties the cache, keeping counters.
 func (l *LRU) Flush() {
 	l.mu.Lock()

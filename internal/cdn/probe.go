@@ -4,11 +4,23 @@ import (
 	"context"
 	"fmt"
 	"net/netip"
+	"sync"
 	"time"
 
 	"github.com/meccdn/meccdn/internal/health"
 	"github.com/meccdn/meccdn/internal/simnet"
 )
+
+// probeBufPool recycles the PING request buffer across probes: a
+// health sweep probes every target every interval, and Exchange is
+// synchronous (the datagram is consumed before it returns), so the
+// buffer can go straight back into the pool.
+var probeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 16)
+		return &b
+	},
+}
 
 // CacheProber probes cache servers over the simnet content protocol's
 // PING verb. A PONG means the instance is up; an ERR reply (a server
@@ -35,7 +47,11 @@ func (p *CacheProber) Probe(_ context.Context, t health.TargetID) error {
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
-	resp, _, err := p.Endpoint.Exchange(addr, []byte("PING"), timeout)
+	bufp := probeBufPool.Get().(*[]byte)
+	req := append((*bufp)[:0], "PING"...)
+	resp, _, err := p.Endpoint.Exchange(addr, req, timeout)
+	*bufp = req
+	probeBufPool.Put(bufp)
 	if err != nil {
 		return err
 	}

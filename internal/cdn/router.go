@@ -12,6 +12,7 @@ import (
 	"github.com/meccdn/meccdn/internal/geoip"
 	"github.com/meccdn/meccdn/internal/health"
 	"github.com/meccdn/meccdn/internal/lpm"
+	"github.com/meccdn/meccdn/internal/mesh"
 	"github.com/meccdn/meccdn/internal/telemetry"
 )
 
@@ -184,6 +185,13 @@ type Router struct {
 	// blocks serving; nil means no table (legacy policy routing only).
 	subnets atomic.Pointer[lpm.Table]
 
+	// peers is the federated-mesh peer view (via UseMesh): on a local
+	// content miss the router asks which eligible, non-overloaded peer
+	// MEC announced the object before escalating to the parent tier,
+	// and a dead LPM-mapped PoP falls back to the nearest healthy
+	// peer. Nil means no mesh (vertical-only, the historical shape).
+	peers atomic.Pointer[mesh.View]
+
 	ctrOnce  sync.Once
 	routed   *telemetry.CounterVec
 	routeCtr *telemetry.CounterVec
@@ -241,9 +249,9 @@ type popTarget struct {
 func (rt *Router) counters() *telemetry.CounterVec {
 	rt.ctrOnce.Do(func() {
 		rt.routed = telemetry.NewCounterVec("meccdn_cdn_routed_total",
-			"C-DNS routing decisions by result (selected, referral, load_fallback, failed, nodata).", "result")
+			"C-DNS routing decisions by result (selected, peer, referral, load_fallback, peer_fallback, failed, nodata).", "result")
 		rt.routeCtr = telemetry.NewCounterVec("meccdn_route_lookups_total",
-			"Subnet→PoP table lookups by result: hit (route matched and answered), miss (no covering route), unmapped (route matched a PoP with no usable target).", "result")
+			"Subnet→PoP table lookups by result: hit (route matched and answered), miss (no covering route), unmapped (route matched a PoP with no usable target and no healthy mesh peer to fall back to).", "result")
 	})
 	return rt.routed
 }
@@ -327,8 +335,10 @@ func (rt *Router) BindPoP(pop lpm.PoP, server string) {
 // ECS-disclosed subnet (or, absent ECS, the resolver source address —
 // the very conflation the paper faults plain DNS for, kept only as the
 // fallback signal). It returns the answer address (invalid when the
-// table missed or the PoP had no usable target), the ECS scope to
-// stamp, and whether a table is installed at all.
+// table missed or the PoP had no usable target), a peer-referral
+// address (valid when the mapped PoP was dead but a healthy mesh peer
+// can take the client instead — the geo-aware fallback), the ECS scope
+// to stamp, and whether a table is installed at all.
 //
 // Scope semantics (RFC 7871): a route hit discriminated the client at
 // exactly the matched prefix length, so that is the scope; a miss (or
@@ -336,10 +346,10 @@ func (rt *Router) BindPoP(pop lpm.PoP, server string) {
 // answer is as good for any subnet. Without a table the router stays
 // on its historical echo (scope = source), since policy routing may
 // still have used the full disclosed address for geo distance.
-func (rt *Router) subnetRoute(client ClientInfo) (netip.Addr, int, bool) {
+func (rt *Router) subnetRoute(client ClientInfo) (addr, peerRef netip.Addr, scope int, tabled bool) {
 	table := rt.subnets.Load()
 	if table == nil {
-		return netip.Addr{}, -1, false
+		return netip.Addr{}, netip.Addr{}, -1, false
 	}
 	lookupAddr := client.Addr
 	if client.ECS.IsValid() {
@@ -348,15 +358,25 @@ func (rt *Router) subnetRoute(client ClientInfo) (netip.Addr, int, bool) {
 	pop, bits, ok := table.Lookup(lookupAddr)
 	if !ok {
 		rt.routeCtr.Inc("miss")
-		return netip.Addr{}, 0, true
+		return netip.Addr{}, netip.Addr{}, 0, true
 	}
-	addr, ok := rt.popAnswer(pop)
+	addr, ok = rt.popAnswer(pop)
 	if !ok {
+		// Geo-aware fallback: the LPM route named a PoP but nothing
+		// behind it is usable (bound server down, no static address).
+		// Rather than answering a dead edge, hand the client to the
+		// nearest healthy peer MEC from the mesh view.
+		if v := rt.peers.Load(); v != nil {
+			if hit, hitOK := v.Nearest(); hitOK && hit.Addr.IsValid() {
+				rt.routeCtr.Inc("peer_fallback")
+				return netip.Addr{}, hit.Addr, 0, true
+			}
+		}
 		rt.routeCtr.Inc("unmapped")
-		return netip.Addr{}, 0, true
+		return netip.Addr{}, netip.Addr{}, 0, true
 	}
 	rt.routeCtr.Inc("hit")
-	return addr, bits, true
+	return addr, netip.Addr{}, bits, true
 }
 
 // popAnswer resolves a PoP to the address to publish. A bound server
@@ -426,6 +446,21 @@ func (rt *Router) UseHealth(reg *health.Registry) {
 // State aliases health.State so callers wiring UseHealth listeners do
 // not need a separate health import.
 type State = health.State
+
+// PeerHit aliases mesh.PeerHit so callers consuming RoutePeer results
+// do not need a separate mesh import.
+type PeerHit = mesh.PeerHit
+
+// UseMesh attaches a federated-mesh peer view to the router. From
+// then on the miss path — a key no local candidate already holds —
+// asks the view which eligible, non-overloaded peer MEC announced the
+// object and answers with a referral to that peer's C-DNS before
+// escalating to the parent tier, and a dead LPM-mapped PoP falls back
+// to the nearest healthy peer. Safe to call while serving.
+func (rt *Router) UseMesh(v *mesh.View) { rt.peers.Store(v) }
+
+// Mesh returns the attached peer view, or nil.
+func (rt *Router) Mesh() *mesh.View { return rt.peers.Load() }
 
 // AddServer registers a cache server with the router.
 func (rt *Router) AddServer(s *CacheServer, loc geoip.Location) {
@@ -518,7 +553,14 @@ func (rt *Router) ServeDNS(ctx context.Context, w dnsserver.ResponseWriter, r *d
 	// (legacy echo: scope = source).
 	var addr netip.Addr
 	scope := -1
-	if popAddr, popScope, tabled := rt.subnetRoute(client); tabled {
+	if popAddr, popRef, popScope, tabled := rt.subnetRoute(client); tabled {
+		if popRef.IsValid() {
+			// Geo-aware fallback: the mapped PoP is dead, so delegate
+			// to the nearest healthy peer MEC instead of answering it.
+			routed.Inc("peer_fallback")
+			endHop("peer-fallback")
+			return rt.writeReferralTo(w, r, popRef)
+		}
 		scope = popScope
 		addr = popAddr
 	}
@@ -528,8 +570,16 @@ func (rt *Router) ServeDNS(ctx context.Context, w dnsserver.ResponseWriter, r *d
 		routed.Inc("selected")
 		endHop("subnet-route")
 	default:
-		selected := rt.Route(qname, client)
+		selected, peer, steered := rt.RoutePeer(qname, client)
 		switch {
+		case steered:
+			// Horizontal cooperation: a sibling MEC announced this
+			// object, so delegate the client there — same referral
+			// mechanics as the cross-tier escalation, just pointed at
+			// the peer's C-DNS instead of the parent's.
+			routed.Inc("peer")
+			endHop("peer:" + peer.Name)
+			return rt.writeReferralTo(w, r, peer.Addr)
 		case selected != nil:
 			addr = selected.Answer()
 			routed.Inc("selected")
@@ -592,6 +642,12 @@ const ReferralNS = "cdns-next-tier"
 // writeReferral answers with a delegation pointing at the parent-tier
 // C-DNS.
 func (rt *Router) writeReferral(w dnsserver.ResponseWriter, r *dnsserver.Request) (dnswire.Rcode, error) {
+	return rt.writeReferralTo(w, r, rt.Parent)
+}
+
+// writeReferralTo answers with a delegation pointing at another C-DNS
+// — the parent tier or a mesh peer site.
+func (rt *Router) writeReferralTo(w dnsserver.ResponseWriter, r *dnsserver.Request, next netip.Addr) (dnswire.Rcode, error) {
 	nsName := ReferralNS + "." + rt.Domain
 	m := new(dnswire.Message)
 	m.SetReply(r.Msg)
@@ -601,7 +657,7 @@ func (rt *Router) writeReferral(w dnsserver.ResponseWriter, r *dnsserver.Request
 	}}
 	m.Additionals = []dnswire.RR{&dnswire.A{
 		Hdr:  dnswire.RRHeader{Name: nsName, Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 30},
-		Addr: rt.Parent,
+		Addr: next,
 	}}
 	if err := w.WriteMsg(m); err != nil {
 		return dnswire.RcodeServerFailure, err
@@ -638,8 +694,57 @@ func Referral(m *dnswire.Message) (netip.Addr, bool) {
 // attached, a candidate must pass both the server's own flag and the
 // registry's verdict, and healthy servers are preferred over degraded
 // ones — an all-degraded set still serves best-effort rather than
-// failing over.
+// failing over. Route is mesh-blind; RoutePeer layers peer steering
+// on top.
 func (rt *Router) Route(key string, client ClientInfo) *ServerInfo {
+	selected := rt.selectLocal(key, client)
+	if selected != nil {
+		// Feed the ring's load cells: one unit per routing decision,
+		// charged to the server the policy actually picked (which may
+		// differ from the bounded walk's first owner). The bounded
+		// lookup's cap reads these counters; under a plain ring they
+		// only drive the meccdn_ring_* load metrics.
+		rt.Ring.RecordLoad(selected.Server.Name)
+	}
+	return selected
+}
+
+// RoutePeer is the mesh-aware routing decision: local candidate
+// selection first, then — when the local pick would miss (no candidate
+// at all, or the policy's pick does not hold the object) — the peer
+// view. A steered decision returns (nil, hit, true) and charges the
+// peer's bounded-load cell; otherwise the local pick (possibly nil)
+// is returned and charged exactly as Route would. Lock-free on the
+// serve path: the snapshot loads aside, no locks are taken.
+func (rt *Router) RoutePeer(key string, client ClientInfo) (*ServerInfo, mesh.PeerHit, bool) {
+	selected := rt.selectLocal(key, client)
+	if v := rt.peers.Load(); v != nil {
+		if selected == nil || !selected.Server.Cache().Contains(key) {
+			if hit, ok := v.Steer(key); ok {
+				return nil, hit, true
+			}
+		}
+	}
+	if selected != nil {
+		rt.Ring.RecordLoad(selected.Server.Name)
+	}
+	return selected, mesh.PeerHit{}, false
+}
+
+// PeerLookup asks the attached mesh view which peer announced key,
+// without charging load or counters — the pure read the lock-free
+// certification and BenchmarkRoutePeerLookup exercise: one atomic
+// snapshot load, zero allocations.
+func (rt *Router) PeerLookup(key string) (mesh.PeerHit, bool) {
+	if v := rt.peers.Load(); v != nil {
+		return v.Lookup(key)
+	}
+	return mesh.PeerHit{}, false
+}
+
+// selectLocal runs candidate selection over the site's own servers
+// without charging the ring's load cells.
+func (rt *Router) selectLocal(key string, client ClientInfo) *ServerInfo {
 	st := rt.snapshot()
 	if len(st.servers) == 0 {
 		return nil
@@ -699,16 +804,7 @@ func (rt *Router) Route(key string, client ClientInfo) *ServerInfo {
 	if policy == nil {
 		policy = AvailabilityFirst{}
 	}
-	selected := policy.Select(candidates, key, client)
-	if selected != nil {
-		// Feed the ring's load cells: one unit per routing decision,
-		// charged to the server the policy actually picked (which may
-		// differ from the bounded walk's first owner). The bounded
-		// lookup's cap reads these counters; under a plain ring they
-		// only drive the meccdn_ring_* load metrics.
-		rt.Ring.RecordLoad(selected.Server.Name)
-	}
-	return selected
+	return policy.Select(candidates, key, client)
 }
 
 // clientInfo assembles what the router knows about the requester.

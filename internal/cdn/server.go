@@ -217,7 +217,22 @@ func (s *CacheServer) Warm(contents ...Content) {
 	}
 }
 
+// Strict bounds on the content protocol's verb parser: a request over
+// maxRequestLen is dropped before field-splitting, and each GET field
+// is length-checked, so a misdirected or adversarial datagram (for
+// example a binary mesh ANNOUNCE aimed at a cache instead of a mesh
+// agent) is counted as an error reply and can never panic the server
+// or blow up its parse cost.
+const (
+	maxRequestLen = 512
+	maxFieldLen   = 255
+)
+
 func (s *CacheServer) handle(ctx *simnet.Ctx, dg simnet.Datagram) {
+	if len(dg.Payload) > maxRequestLen {
+		ctx.Reply([]byte("ERR too-long"), 0)
+		return
+	}
 	fields := strings.Fields(string(dg.Payload))
 	replySized := func(msg string, size int64) {
 		var delay time.Duration
@@ -245,7 +260,9 @@ func (s *CacheServer) handle(ctx *simnet.Ctx, dg simnet.Datagram) {
 		}
 		return
 	}
-	if len(fields) != 3 || fields[0] != "GET" {
+	if len(fields) != 3 || fields[0] != "GET" ||
+		len(fields[1]) == 0 || len(fields[1]) > maxFieldLen ||
+		len(fields[2]) == 0 || len(fields[2]) > maxFieldLen {
 		reply("ERR bad-request")
 		return
 	}
@@ -300,6 +317,10 @@ func NewOriginServer(node *simnet.Node, origin *Origin, serveDelay simnet.Sample
 func (s *OriginServer) Addr() netip.Addr { return s.node.Addr }
 
 func (s *OriginServer) handle(ctx *simnet.Ctx, dg simnet.Datagram) {
+	if len(dg.Payload) > maxRequestLen {
+		ctx.Reply([]byte("ERR too-long"), 0)
+		return
+	}
 	fields := strings.Fields(string(dg.Payload))
 	reply := func(msg string) {
 		var delay time.Duration
@@ -308,7 +329,9 @@ func (s *OriginServer) handle(ctx *simnet.Ctx, dg simnet.Datagram) {
 		}
 		ctx.Reply([]byte(msg), delay)
 	}
-	if len(fields) != 3 || fields[0] != "GET" {
+	if len(fields) != 3 || fields[0] != "GET" ||
+		len(fields[1]) == 0 || len(fields[1]) > maxFieldLen ||
+		len(fields[2]) == 0 || len(fields[2]) > maxFieldLen {
 		reply("ERR bad-request")
 		return
 	}

@@ -33,9 +33,28 @@ import (
 	"github.com/meccdn/meccdn/internal/geoip"
 	"github.com/meccdn/meccdn/internal/health"
 	"github.com/meccdn/meccdn/internal/lte"
+	"github.com/meccdn/meccdn/internal/mesh"
 	"github.com/meccdn/meccdn/internal/orchestrator"
 	"github.com/meccdn/meccdn/internal/simnet"
 )
+
+// MeshOptions parameterizes the site's federated-mesh agent.
+type MeshOptions struct {
+	// AnnounceInterval is the gossip cadence; zero means 2s. In
+	// virtual-time experiments drive rounds with Site.AnnounceOnce
+	// instead of the wall-clock loop.
+	AnnounceInterval time.Duration
+	// DigestBits / DigestHashes size the content digest; zero means
+	// the mesh defaults (8192 bits / 4 hashes).
+	DigestBits   int
+	DigestHashes int
+	// LoadFactor is the bounded-load factor over peer steering; ≤1
+	// means 1.25.
+	LoadFactor float64
+	// StaleAfter drops peers whose last announce is older; zero means
+	// 3× the announce interval.
+	StaleAfter time.Duration
+}
 
 // SiteConfig parameterizes DeploySite.
 type SiteConfig struct {
@@ -83,6 +102,11 @@ type SiteConfig struct {
 	// testbed's virtual clock. Nil keeps the legacy instantly-routable
 	// behavior.
 	Health *health.Config
+	// Mesh, when non-nil, deploys a federated-mesh agent at the site:
+	// it gossips the cache fleet's content digest to peer sites (wire
+	// them with PeerWith or ConnectMesh) and the C-DNS steers local
+	// misses to eligible peers before the parent tier.
+	Mesh *MeshOptions
 }
 
 // Site is a deployed MEC-CDN edge site.
@@ -111,11 +135,15 @@ type Site struct {
 	// Health is the site's cache health registry (nil unless
 	// SiteConfig.Health was set).
 	Health *health.Registry
+	// Mesh is the site's federated-mesh agent (nil unless
+	// SiteConfig.Mesh was set).
+	Mesh *mesh.Agent
 
 	cfg       SiteConfig
 	tb        *lte.Testbed
 	nextCache int
 	checker   *health.Checker
+	meshNode  *simnet.Node
 
 	stub     *dnsserver.Stub
 	tenants  map[string]*DomainDeployment
@@ -225,6 +253,39 @@ func DeploySite(tb *lte.Testbed, cfg SiteConfig) (*Site, error) {
 	}
 	site.CDNS = netip.AddrPortFrom(cdnsSvc.ClusterIP, 53)
 
+	// Federated-mesh agent: its own MEC node on the shared datagram
+	// plane, announcing the cache fleet's content digest and steering
+	// the C-DNS miss path to peers. The announce answer address is the
+	// site's C-DNS cluster IP, so a steered client lands on the peer
+	// site's Traffic Router and gets that site's own cache selection.
+	if cfg.Mesh != nil {
+		site.meshNode = tb.AddMEC(prefix + "mec-mesh")
+		site.Mesh = mesh.NewAgent(mesh.Config{
+			Site:             prefix + "mec",
+			AnswerAddr:       site.CDNS.Addr().String(),
+			AnnounceInterval: cfg.Mesh.AnnounceInterval,
+			DigestBits:       cfg.Mesh.DigestBits,
+			DigestHashes:     cfg.Mesh.DigestHashes,
+			LoadFactor:       cfg.Mesh.LoadFactor,
+			StaleAfter:       cfg.Mesh.StaleAfter,
+			Clock:            net.Clock,
+			Health:           site.Health,
+			Source: func(add func(string)) {
+				for _, c := range site.Caches {
+					c.Cache().Each(func(content cdn.Content) { add(content.Name) })
+				}
+			},
+			Load: func() float64 {
+				if site.Health != nil {
+					return site.Health.Snapshot().Load
+				}
+				return 0
+			},
+		})
+		site.Mesh.BindSimnet(site.meshNode)
+		site.Router.UseMesh(site.Mesh.View())
+	}
+
 	// MEC L-DNS (CoreDNS): split namespaces, stub-domain to C-DNS.
 	ldnsNode := tb.AddMEC(prefix + "mec-ldns")
 	upClient := &dnsclient.Client{Transport: &dnsclient.SimTransport{Endpoint: ldnsNode.Endpoint()}}
@@ -305,6 +366,52 @@ func (s *Site) ProbeOnce() {
 		return
 	}
 	s.checker.RunOnce(context.Background())
+}
+
+// MeshAddr returns the site's mesh endpoint address (zero when the
+// site was deployed without a mesh).
+func (s *Site) MeshAddr() netip.Addr {
+	if s.meshNode == nil {
+		return netip.Addr{}
+	}
+	return s.meshNode.Addr
+}
+
+// PeerWith configures this site to announce to other (one direction;
+// call both ways — or ConnectMesh — for mutual steering). Both sites
+// must have been deployed with SiteConfig.Mesh.
+func (s *Site) PeerWith(other *Site) error {
+	if s.Mesh == nil || other.Mesh == nil {
+		return fmt.Errorf("meccdn: both sites need SiteConfig.Mesh to peer")
+	}
+	s.Mesh.AddPeer(mesh.Peer{Name: other.Mesh.Site(), Addr: other.MeshAddr().String()})
+	return nil
+}
+
+// ConnectMesh peers every site with every other, both directions —
+// the full-mesh federation the experiments use.
+func ConnectMesh(sites ...*Site) error {
+	for i, a := range sites {
+		for _, b := range sites[i+1:] {
+			if err := a.PeerWith(b); err != nil {
+				return err
+			}
+			if err := b.PeerWith(a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AnnounceOnce runs one synchronous mesh announce round, the
+// virtual-time analogue of the agent's wall-clock loop (pair with
+// ProbeOnce between experiment ticks). No-op without a mesh.
+func (s *Site) AnnounceOnce() {
+	if s.Mesh == nil {
+		return
+	}
+	s.Mesh.AnnounceOnce()
 }
 
 // AddCache scales the site up by one cache instance: a new MEC node,

@@ -1,0 +1,214 @@
+package mesh
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The ANNOUNCE wire format: a text verb prefix (so the datagram plane
+// stays verb-dispatchable next to PING and GET) followed by a compact
+// binary body. All integers are big-endian.
+//
+//	"ANNOUNCE " (9 bytes)
+//	ver      u8   — wireVersion
+//	gen      u32  — sender's announce generation
+//	siteLen  u8   — sender site name length (1..MaxNameLen)
+//	site     …    — site name bytes
+//	addrLen  u8   — answer-address length (0..MaxNameLen); the address
+//	               peers should steer clients to (the site's C-DNS),
+//	               empty when the sender cannot take steered traffic
+//	addr     …    — answer address, textual netip.Addr form
+//	entries  u32  — names in the content table (info only; ≤ MaxEntries)
+//	load     u16  — self-reported ingress load, permille (0..1000)
+//	k        u8   — digest probe count (1..MaxDigestHashes)
+//	bits     u32  — digest bitmap size (MinDigestBits..MaxDigestBits,
+//	               multiple of 64)
+//	bitmap   …    — bits/8 bytes, exactly to the end of the datagram
+//
+// The reply is textual: "DIGEST <generation>" acknowledges with the
+// generation of the sender's table the receiver now holds (which may
+// be newer than the announce if it arrived out of order), or
+// "ERR <reason>" for malformed payloads.
+
+// AnnouncePrefix is the verb prefix of an announce datagram.
+const AnnouncePrefix = "ANNOUNCE "
+
+// DigestPrefix is the verb prefix of an announce acknowledgement.
+const DigestPrefix = "DIGEST "
+
+const (
+	wireVersion = 1
+	// MaxNameLen bounds the site-name and answer-address fields.
+	MaxNameLen = 128
+	// MaxEntries bounds the advertised content-table size.
+	MaxEntries = 1 << 30
+	// announceFixed is the body size before the variable fields:
+	// ver(1) + gen(4) + siteLen(1) + addrLen(1) + entries(4) +
+	// load(2) + k(1) + bits(4).
+	announceFixed = 18
+)
+
+// Announce is one decoded announcement.
+type Announce struct {
+	// Site is the sender's site name.
+	Site string
+	// Addr is where the sender wants steered clients sent (textual
+	// netip.Addr of its C-DNS); empty means announce-only.
+	Addr string
+	// Gen is the sender's announce generation.
+	Gen uint32
+	// Entries is the sender's content-table size.
+	Entries int
+	// Load is the sender's self-reported ingress load in [0,1].
+	Load float64
+	// Filter is the decoded content digest.
+	Filter Filter
+}
+
+// EncodeAnnounce serializes an announcement. k and bits are taken from
+// the digest bitmap's provenance: bitmap must be bits/8 bytes with
+// bits a valid digest size and k a valid probe count; load is clamped
+// to [0,1].
+func EncodeAnnounce(site, addr string, gen uint32, entries int, load float64, k int, bitmap []byte) ([]byte, error) {
+	if site == "" || len(site) > MaxNameLen {
+		return nil, fmt.Errorf("mesh: site name %q out of range", site)
+	}
+	if len(addr) > MaxNameLen {
+		return nil, fmt.Errorf("mesh: answer addr %q too long", addr)
+	}
+	if entries < 0 || entries > MaxEntries {
+		return nil, fmt.Errorf("mesh: entries %d out of range", entries)
+	}
+	bits := len(bitmap) * 8
+	if bits < MinDigestBits || bits > MaxDigestBits || len(bitmap)%8 != 0 {
+		return nil, fmt.Errorf("mesh: digest bitmap of %d bits invalid", bits)
+	}
+	if k < 1 || k > MaxDigestHashes {
+		return nil, fmt.Errorf("mesh: digest probe count %d out of range", k)
+	}
+	if load < 0 {
+		load = 0
+	}
+	if load > 1 {
+		load = 1
+	}
+	buf := make([]byte, 0, len(AnnouncePrefix)+announceFixed+len(site)+len(addr)+len(bitmap))
+	buf = append(buf, AnnouncePrefix...)
+	buf = append(buf, wireVersion)
+	buf = binary.BigEndian.AppendUint32(buf, gen)
+	buf = append(buf, byte(len(site)))
+	buf = append(buf, site...)
+	buf = append(buf, byte(len(addr)))
+	buf = append(buf, addr...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(entries))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(load*1000))
+	buf = append(buf, byte(k))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(bits))
+	buf = append(buf, bitmap...)
+	return buf, nil
+}
+
+// DecodeAnnounce parses an announce datagram. Every field is
+// bounds-checked against the datagram length before it is read and
+// the payload must end exactly with the bitmap, so no input — however
+// truncated, oversized, or adversarial — panics or over-reads;
+// malformed payloads return an error for the caller to count and
+// drop.
+func DecodeAnnounce(payload []byte) (Announce, error) {
+	var a Announce
+	body, ok := cutPrefix(payload, AnnouncePrefix)
+	if !ok {
+		return a, fmt.Errorf("mesh: not an ANNOUNCE datagram")
+	}
+	if len(body) < announceFixed {
+		return a, fmt.Errorf("mesh: announce truncated at %d bytes", len(body))
+	}
+	if body[0] != wireVersion {
+		return a, fmt.Errorf("mesh: unsupported announce version %d", body[0])
+	}
+	a.Gen = binary.BigEndian.Uint32(body[1:5])
+	p := 5
+	siteLen := int(body[p])
+	p++
+	if siteLen == 0 || siteLen > MaxNameLen || p+siteLen > len(body) {
+		return a, fmt.Errorf("mesh: announce site length %d invalid", siteLen)
+	}
+	a.Site = string(body[p : p+siteLen])
+	p += siteLen
+	if p >= len(body) {
+		return a, fmt.Errorf("mesh: announce truncated before addr")
+	}
+	addrLen := int(body[p])
+	p++
+	if addrLen > MaxNameLen || p+addrLen > len(body) {
+		return a, fmt.Errorf("mesh: announce addr length %d invalid", addrLen)
+	}
+	a.Addr = string(body[p : p+addrLen])
+	p += addrLen
+	if p+11 > len(body) {
+		return a, fmt.Errorf("mesh: announce truncated before digest header")
+	}
+	entries := binary.BigEndian.Uint32(body[p : p+4])
+	if entries > MaxEntries {
+		return a, fmt.Errorf("mesh: announce entries %d out of range", entries)
+	}
+	a.Entries = int(entries)
+	loadPermille := binary.BigEndian.Uint16(body[p+4 : p+6])
+	if loadPermille > 1000 {
+		return a, fmt.Errorf("mesh: announce load %d‰ out of range", loadPermille)
+	}
+	a.Load = float64(loadPermille) / 1000
+	k := int(body[p+6])
+	bits := binary.BigEndian.Uint32(body[p+7 : p+11])
+	p += 11
+	if k < 1 || k > MaxDigestHashes {
+		return a, fmt.Errorf("mesh: announce probe count %d out of range", k)
+	}
+	if bits < MinDigestBits || bits > MaxDigestBits || bits%64 != 0 {
+		return a, fmt.Errorf("mesh: announce digest size %d bits invalid", bits)
+	}
+	if len(body)-p != int(bits)/8 {
+		return a, fmt.Errorf("mesh: announce digest length %d != declared %d bytes", len(body)-p, bits/8)
+	}
+	f, ok := FilterFromBitmap(body[p:], k)
+	if !ok {
+		return a, fmt.Errorf("mesh: announce digest rejected")
+	}
+	a.Filter = f
+	return a, nil
+}
+
+func cutPrefix(b []byte, prefix string) ([]byte, bool) {
+	if len(b) < len(prefix) || string(b[:len(prefix)]) != prefix {
+		return nil, false
+	}
+	return b[len(prefix):], true
+}
+
+// EncodeDigestAck builds the "DIGEST <gen>" acknowledgement.
+func EncodeDigestAck(gen uint32) []byte {
+	return strconv.AppendUint([]byte(DigestPrefix), uint64(gen), 10)
+}
+
+// DecodeDigestAck parses an acknowledgement, returning the held
+// generation.
+func DecodeDigestAck(payload []byte) (uint32, bool) {
+	s, ok := strings.CutPrefix(string(payload), DigestPrefix)
+	if !ok {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	return uint32(gen), true
+}
+
+// genNewer reports whether a advances past b in serial-number
+// arithmetic (RFC 1982 style over u32), so generation counters may
+// wrap without wedging anti-entropy.
+func genNewer(a, b uint32) bool {
+	return int32(a-b) > 0
+}

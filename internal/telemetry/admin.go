@@ -18,6 +18,7 @@ import (
 //	/healthz        readiness probe (503 while draining)
 //	/health         health-registry snapshot as JSON (404 if unwired)
 //	/routes         subnet→PoP routing-table summary as JSON (404 if unwired)
+//	/mesh           federated-mesh peer view as JSON (404 if unwired)
 //	/reload         POST: online config/zone reload (404 if unwired)
 //	/querylog       drains the sampled query log as JSON lines
 //	/debug/pprof/   the standard Go profiling handlers
@@ -39,6 +40,10 @@ type Admin struct {
 	// Routes backs /routes with a JSON-serializable summary of the
 	// subnet→PoP routing table; nil returns 404.
 	Routes func() any
+	// Mesh backs /mesh with a JSON-serializable snapshot of the
+	// federated-mesh peer view (generations, digest sizes, eligibility);
+	// nil returns 404.
+	Mesh func() any
 	// Reload backs POST /reload: re-parse configuration files and swap
 	// the serving snapshots in place (the SIGHUP path over HTTP); nil
 	// returns 404. GET is rejected — reloading mutates state.
@@ -86,6 +91,16 @@ func (a *Admin) Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(a.Routes())
+	})
+	mux.HandleFunc("/mesh", func(w http.ResponseWriter, r *http.Request) {
+		if a.Mesh == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(a.Mesh())
 	})
 	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
 		if a.Reload == nil {

@@ -34,6 +34,7 @@ import (
 	"github.com/meccdn/meccdn/internal/lpm"
 	"github.com/meccdn/meccdn/internal/lte"
 	"github.com/meccdn/meccdn/internal/meccdn"
+	"github.com/meccdn/meccdn/internal/mesh"
 	"github.com/meccdn/meccdn/internal/mobility"
 	"github.com/meccdn/meccdn/internal/orchestrator"
 	"github.com/meccdn/meccdn/internal/simnet"
@@ -178,6 +179,37 @@ type (
 	// LeastLoaded picks the least-busy candidate.
 	LeastLoaded = cdn.LeastLoaded
 )
+
+// Federated mesh types: gossip-announced content tables between
+// sibling MEC sites and peer-steered miss routing (see DESIGN.md
+// "Federated mesh").
+type (
+	// MeshAgent gossips this site's content digest to configured peers
+	// over ANNOUNCE/DIGEST datagrams and publishes the received peer
+	// tables as an immutable MeshView snapshot.
+	MeshAgent = mesh.Agent
+	// MeshConfig parameterizes NewMeshAgent.
+	MeshConfig = mesh.Config
+	// MeshPeer names one configured announce target.
+	MeshPeer = mesh.Peer
+	// MeshView is the read-plane peer snapshot a Router consults on
+	// the miss path (one atomic load per lookup).
+	MeshView = mesh.View
+	// MeshStatus is the JSON-serializable snapshot behind admin /mesh.
+	MeshStatus = mesh.Status
+	// MeshUDPTransport exchanges mesh datagrams over real UDP sockets.
+	MeshUDPTransport = mesh.UDPTransport
+	// PeerHit identifies the sibling site a lookup steered to.
+	PeerHit = mesh.PeerHit
+	// MeshOptions enables the mesh agent on a deployed Site.
+	MeshOptions = meccdn.MeshOptions
+)
+
+// NewMeshAgent returns a mesh agent with cfg's defaults applied.
+func NewMeshAgent(cfg MeshConfig) *MeshAgent { return mesh.NewAgent(cfg) }
+
+// ConnectMesh peers every given site with every other, both ways.
+func ConnectMesh(sites ...*Site) error { return meccdn.ConnectMesh(sites...) }
 
 // Orchestration types (the Kubernetes-like substrate).
 type (
